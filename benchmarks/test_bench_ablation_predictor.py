@@ -1,0 +1,52 @@
+"""Ablation: width predictor table size and counter width (Section 3).
+
+The paper uses a simple PC-indexed two-bit counter table.  This sweep
+shows accuracy saturates quickly with table size (static width behaviour
+is highly stable) and that two bits of hysteresis beat one.
+"""
+
+from dataclasses import replace
+
+from benchmarks.conftest import emit
+from repro.cpu.pipeline import simulate
+
+SWEEP_BENCHMARK = "crafty"
+TABLE_SIZES = (256, 1024, 4096)
+COUNTER_BITS = (1, 2, 3)
+
+
+def test_bench_ablation_predictor(benchmark, context):
+    def run_sweep():
+        out = {}
+        for entries in TABLE_SIZES:
+            for bits in COUNTER_BITS:
+                config = replace(
+                    context.configs["TH"],
+                    width_predictor_entries=entries,
+                    width_counter_bits=bits,
+                )
+                out[(entries, bits)] = simulate(
+                    context.trace(SWEEP_BENCHMARK), config,
+                    warmup=context.settings.warmup,
+                )
+        return out
+
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    lines = [f"{'entries':>8s} {'bits':>5s} {'accuracy':>9s} {'unsafe':>7s} {'stalls':>7s}"]
+    for (entries, bits), result in sorted(results.items()):
+        stats = result.width_stats
+        lines.append(
+            f"{entries:8d} {bits:5d} {stats.accuracy:9.2%} "
+            f"{stats.unsafe_mispredictions:7d} {result.stalls.total:7d}"
+        )
+    emit(f"Ablation — width predictor sweep ({SWEEP_BENCHMARK})", "\n".join(lines))
+
+    for result in results.values():
+        assert result.width_stats.accuracy > 0.80
+
+    # Bigger tables never hurt (less aliasing).
+    for bits in COUNTER_BITS:
+        small = results[(256, bits)].width_stats.accuracy
+        large = results[(4096, bits)].width_stats.accuracy
+        assert large >= small - 0.02

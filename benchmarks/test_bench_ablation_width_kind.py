@@ -1,0 +1,52 @@
+"""Ablation: dynamic vs profile-static vs oracle width prediction.
+
+The paper's dynamic two-bit predictor is compared against a
+profile-based static hint (the simpler alternative in the prior work it
+builds on) and a perfect oracle (the upper bound): the dynamic scheme
+should be close to the oracle's herding with only a small stall cost.
+"""
+
+from dataclasses import replace
+
+from benchmarks.conftest import emit
+from repro.cpu.config import WidthPredictorKind
+from repro.cpu.pipeline import simulate
+
+ABLATION_BENCHMARKS = ("mpeg2", "crafty", "yacr2")
+
+
+def test_bench_ablation_width_kind(benchmark, context):
+    def run_all():
+        out = {}
+        for kind in WidthPredictorKind:
+            config = replace(context.configs["3D"], width_predictor_kind=kind)
+            out[kind] = {
+                name: simulate(context.trace(name), config,
+                               warmup=context.settings.warmup)
+                for name in ABLATION_BENCHMARKS
+            }
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = [f"{'benchmark':<10s} {'kind':<8s} {'accuracy':>9s} {'stalls':>7s} {'RF herd':>8s}"]
+    for name in ABLATION_BENCHMARKS:
+        for kind in WidthPredictorKind:
+            r = results[kind][name]
+            rf = r.activity.module("register_file").herded_fraction
+            lines.append(
+                f"{name:<10s} {kind.value:<8s} {r.width_stats.accuracy:9.2%} "
+                f"{r.stalls.total:7d} {rf:8.1%}"
+            )
+    emit("Ablation — width predictor kind", "\n".join(lines))
+
+    for name in ABLATION_BENCHMARKS:
+        oracle = results[WidthPredictorKind.ORACLE][name]
+        dynamic = results[WidthPredictorKind.DYNAMIC][name]
+        assert oracle.width_stats.accuracy == 1.0
+        assert oracle.stalls.total == 0
+        # Dynamic prediction approaches the oracle's herding quality.
+        oracle_rf = oracle.activity.module("register_file").herded_fraction
+        dynamic_rf = dynamic.activity.module("register_file").herded_fraction
+        assert dynamic_rf >= oracle_rf - 0.10, name
+        assert dynamic.width_stats.accuracy > 0.90, name

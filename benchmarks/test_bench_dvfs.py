@@ -1,0 +1,28 @@
+"""Extension bench: frequency-for-temperature trading (Section 5.3).
+
+The paper (citing Black et al.) notes part of the 3D performance gain
+can be converted into power/temperature reduction.  The sweep must show
+a 3D operating point faster than planar *within* the planar thermal
+envelope.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.dvfs import run_dvfs
+
+
+def test_bench_dvfs(benchmark, context):
+    result = benchmark.pedantic(
+        run_dvfs, args=(context,), kwargs={"steps": 5}, rounds=1, iterations=1
+    )
+    emit("Extension — DVFS sweep", result.format())
+
+    watts = [p.chip_watts for p in result.points]
+    peaks = [p.peak_k for p in result.points]
+    perf = [p.ipns for p in result.points]
+    assert watts == sorted(watts)
+    assert peaks == sorted(peaks)
+    assert perf == sorted(perf)
+
+    best = result.best_within_planar_envelope()
+    assert best is not None
+    assert best.ipns > 1.1 * result.planar_ipns

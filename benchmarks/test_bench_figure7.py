@@ -1,0 +1,19 @@
+"""Figure 7: floorplans of the planar chip and the 4-die stack.
+
+The 3D stack folds the planar footprint by ~4x with every partitioned
+block vertically aligned across dies.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.figure7 import run_figure7
+
+
+def test_bench_figure7(benchmark):
+    result = benchmark.pedantic(run_figure7, rounds=1, iterations=1)
+    emit("Figure 7 — floorplans", result.format())
+
+    assert abs(result.footprint_reduction - 4.0) < 0.2
+    # The same block list appears on every die of the stack.
+    names_die0 = {b.name for b in result.stacked.blocks_on_die(0)}
+    for die in range(1, 4):
+        assert {b.name for b in result.stacked.blocks_on_die(die)} == names_die0

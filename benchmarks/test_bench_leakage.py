@@ -1,0 +1,20 @@
+"""Extension bench: electro-thermal leakage coupling.
+
+The paper holds leakage flat at 20 % of the baseline.  Coupling leakage
+to temperature (doubling every ~24 K) shows the hidden dividend of
+Thermal Herding: the no-herding 3D stack's leakage inflates well past
+its budget while the herded design stays essentially on budget.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.leakage import run_leakage_feedback
+
+
+def test_bench_leakage(benchmark, context):
+    result = benchmark.pedantic(
+        run_leakage_feedback, args=(context,), rounds=1, iterations=1
+    )
+    emit("Extension — leakage-temperature feedback", result.format())
+
+    assert result.outcomes["3D-noTH"][2] > result.outcomes["3D"][2]
+    assert result.outcomes["3D"][2] < 1.5

@@ -1,0 +1,18 @@
+"""Extension bench: heterogeneous core pairing on the 3D chip.
+
+Pairing the hot compute-bound app with a memory-bound app lowers the
+chip's worst-case temperature versus two hot instances — thermal-aware
+scheduling on top of microarchitectural herding.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.pairing import run_pairing
+
+
+def test_bench_pairing(benchmark, context):
+    result = benchmark.pedantic(run_pairing, args=(context,), rounds=1, iterations=1)
+    emit("Extension — heterogeneous core pairing", result.format())
+
+    pairs = result.by_pair()
+    assert pairs[("mpeg2", "mpeg2")].peak_k > pairs[("mpeg2", "mcf")].peak_k
+    assert pairs[("mpeg2", "mcf")].peak_k > pairs[("mcf", "mcf")].peak_k

@@ -1,0 +1,21 @@
+"""Extension bench: the Figure 2 adoption roadmap (Section 2.2).
+
+Stacked caches alone (stages b/c) capture only a modest slice of what
+full 3D cores (stage d) deliver — the paper's motivation for moving the
+cores themselves into the third dimension.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.roadmap import STAGES, run_roadmap
+
+
+def test_bench_roadmap(benchmark, context):
+    result = benchmark.pedantic(run_roadmap, args=(context,), rounds=1, iterations=1)
+    emit("Extension — Figure 2 roadmap", result.format())
+
+    assert result.speedup["planar"] == 1.0
+    # Monotone improvement along the roadmap.
+    order = [result.speedup[stage] for stage in STAGES]
+    assert all(b >= a - 1e-9 for a, b in zip(order, order[1:]))
+    # Full 3D cores dominate the cache-only stages decisively.
+    assert result.speedup["3d-cores"] - 1.0 > 2 * (result.speedup["stacked-cache+"] - 1.0)

@@ -1,0 +1,17 @@
+"""Extension bench: 3D frequency benefit across technology nodes.
+
+Section 1 motivates 3D with wires scaling worse than gates; the benefit
+of removing wires should therefore *grow* at smaller nodes.
+"""
+
+from benchmarks.conftest import emit
+from repro.circuits.scaling import run_scaling
+
+
+def test_bench_scaling(benchmark):
+    result = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
+    emit("Extension — technology scaling of the 3D benefit", result.format())
+
+    gains = result.gain_by_node()
+    assert gains[45.0] > gains[65.0] > gains[90.0]
+    assert 0.40 <= gains[65.0] <= 0.55

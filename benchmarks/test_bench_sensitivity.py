@@ -1,0 +1,19 @@
+"""Extension bench: packaging-parameter sensitivity of the thermal result.
+
+Shows which Section 4 assumption the +12 K Thermal Herding conclusion
+leans on hardest (the phase-change TIM, by a wide margin).
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.sensitivity import run_sensitivity
+from repro.experiments.stacking_order import run_stacking_order
+
+
+def test_bench_sensitivity(benchmark, context):
+    result = benchmark.pedantic(run_sensitivity, args=(context,), rounds=1, iterations=1)
+    stacking = run_stacking_order(context)
+    emit("Extension — thermal sensitivity",
+         result.format() + "\n\n" + stacking.format())
+
+    assert result.spread("TIM W/mK") > result.spread("via copper fraction")
+    assert stacking.penalty_k > 0

@@ -1,0 +1,22 @@
+"""Extension bench: transient hotspot formation speed.
+
+The 3D stack's thinned dies store less heat per watt, so its hotspots
+form faster than the planar chip's — dynamic thermal management must
+react sooner on stacked processors.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.transient_response import run_transient_response
+
+
+def test_bench_transient(benchmark, context):
+    result = benchmark.pedantic(
+        run_transient_response, args=(context,),
+        kwargs={"dt_s": 25e-3, "duration_s": 15.0},
+        rounds=1, iterations=1,
+    )
+    emit("Extension — transient step response", result.format())
+
+    assert result.planar.time_to_90pct_s is not None
+    assert result.stacked.time_to_90pct_s is not None
+    assert result.stacked.time_to_90pct_s < result.planar.time_to_90pct_s

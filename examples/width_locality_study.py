@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Width and partial-value locality study across the benchmark suite.
+
+Reproduces the observations Section 3 builds on: most integer values are
+narrow, load/store upper address bits rarely change (PAM), branch targets
+stay near their branches (BTB memoization), and cached values compress
+well under the 2-bit upper-bit encoding.
+
+Run:  python examples/width_locality_study.py [length]
+"""
+
+import sys
+
+from repro.isa.values import UpperBitsEncoding
+from repro.workloads import BENCHMARKS, generate
+
+
+def main() -> None:
+    length = int(sys.argv[1]) if len(sys.argv) > 1 else 10_000
+
+    header = (
+        f"{'benchmark':<10s} {'class':<14s} {'low-res':>8s} {'low-op':>7s} "
+        f"{'addr-memo':>9s} {'near-tgt':>8s} {'compressible':>12s}"
+    )
+    print(header)
+    print("-" * len(header))
+    per_class = {}
+    for name, spec in BENCHMARKS.items():
+        stats = generate(name, length=length).stats()
+        compressible = sum(
+            fraction
+            for encoding, fraction in stats.dcache_encoding_mix.items()
+            if encoding is not UpperBitsEncoding.LITERAL
+        )
+        print(
+            f"{name:<10s} {spec.benchmark_class.value:<14s} "
+            f"{stats.low_width_result_fraction:8.1%} "
+            f"{stats.low_width_operand_fraction:7.1%} "
+            f"{stats.address_upper_match_fraction:9.1%} "
+            f"{stats.near_target_fraction:8.1%} "
+            f"{compressible:12.1%}"
+        )
+        per_class.setdefault(spec.benchmark_class.value, []).append(
+            stats.low_width_result_fraction
+        )
+
+    print("\nmean low-width result fraction per class:")
+    for klass, values in per_class.items():
+        print(f"  {klass:<14s} {sum(values) / len(values):6.1%}")
+    print(
+        "\nThe MediaBench/MiBench classes are the narrowest (herding gates the"
+        "\nmost activity there); pointer codes carry the most full-width values"
+        "\nbut compensate through the SAME_AS_ADDRESS cache encoding."
+    )
+
+
+if __name__ == "__main__":
+    main()

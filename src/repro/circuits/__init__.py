@@ -1,0 +1,51 @@
+"""Circuit latency and energy models (the HSpice substitute).
+
+The paper derives per-block worst-case latencies and per-access energies
+from HSpice simulations of static-CMOS designs in a 65 nm predictive
+technology, for both planar (2D) and 4-die 3D implementations.  This
+package replaces those simulations with analytical models in the CACTI /
+logical-effort tradition:
+
+* :mod:`~repro.circuits.technology` — 65 nm process constants and the
+  die-to-die via parameters of Section 4.
+* :mod:`~repro.circuits.wires` — repeated and unrepeated RC wire delay
+  and switching energy.
+* :mod:`~repro.circuits.logical_effort` — gate-chain delays in FO4 units.
+* :mod:`~repro.circuits.arrays` — an SRAM array model with the paper's 3D
+  partitioning modes (word-partitioned, entry-stacked, folded).
+* :mod:`~repro.circuits.blocks` — one model per processor block,
+  reproducing Table 2 (2D vs 3D latency) and supplying per-access
+  energies to the power model.
+* :mod:`~repro.circuits.frequency` — clock frequency derivation from the
+  wakeup-select and ALU+bypass critical loops (Section 5.1.1).
+"""
+
+from repro.circuits.technology import Technology, TECH_65NM
+from repro.circuits.wires import wire_delay_ps, wire_energy_pj, repeated_wire_delay_ps
+from repro.circuits.logical_effort import gate_chain_delay_ps, fo4_ps
+from repro.circuits.arrays import ArrayModel, PartitionMode, ArrayTiming
+from repro.circuits.blocks import BlockModel, BlockTiming, build_block_models
+from repro.circuits.frequency import (
+    CriticalLoops,
+    derive_frequencies,
+    FrequencyPlan,
+)
+
+__all__ = [
+    "Technology",
+    "TECH_65NM",
+    "wire_delay_ps",
+    "wire_energy_pj",
+    "repeated_wire_delay_ps",
+    "gate_chain_delay_ps",
+    "fo4_ps",
+    "ArrayModel",
+    "PartitionMode",
+    "ArrayTiming",
+    "BlockModel",
+    "BlockTiming",
+    "build_block_models",
+    "CriticalLoops",
+    "derive_frequencies",
+    "FrequencyPlan",
+]

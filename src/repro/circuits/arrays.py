@@ -1,0 +1,208 @@
+"""CACTI-style SRAM array latency/energy model with 3D partitioning.
+
+An array access is decoder -> wordline -> bitline -> sense -> way mux ->
+output routing.  The 3D partitioning modes correspond to the organizations
+in the paper:
+
+* ``WORD_PARTITIONED`` — each die holds a 16-bit word of every entry
+  (register file, ROB, L1D data, LQ/SQ data, BTB targets).  Wordlines
+  shrink by the die count; bitlines are unchanged; output routing shrinks
+  with the footprint; control crosses one d2d via.
+* ``ENTRY_STACKED`` — entries are distributed across dies (instruction
+  scheduler RS entries, TLBs).  Bitlines and decoders shrink by the die
+  count; the input must be broadcast through one via hop.
+* ``FOLDED`` — the generic 3D array fold used for caches and predictor
+  tables (prior-work organization): both dimensions shrink by sqrt(dies).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.circuits.logical_effort import decoder_depth_fo4, mux_depth_fo4
+from repro.circuits.technology import Technology, TECH_65NM
+from repro.circuits.wires import wire_delay_ps, wire_energy_pj
+
+#: Sense amplifier delay (FO4) and bitline low-swing energy factor.
+_SENSE_FO4 = 2.0
+_BITLINE_SWING = 0.18
+#: Maximum subarray dimensions before banking splits the array.
+_MAX_ROWS = 256
+_MAX_COLS = 512
+
+
+class PartitionMode(enum.Enum):
+    """How an array is implemented across the 3D stack."""
+
+    PLANAR = "planar"
+    WORD_PARTITIONED = "word"
+    ENTRY_STACKED = "entry"
+    FOLDED = "folded"
+
+
+@dataclass(frozen=True)
+class ArrayTiming:
+    """Result of an array timing/energy evaluation.
+
+    ``energy_full_pj`` is the per-access energy with all dies active;
+    ``energy_top_pj`` is the energy when only the top die is accessed
+    (equal to ``energy_full_pj`` for planar arrays and modes that cannot
+    gate by die).
+    """
+
+    latency_ps: float
+    energy_full_pj: float
+    energy_top_pj: float
+    area_mm2: float
+    footprint_mm2: float
+
+
+@dataclass(frozen=True)
+class ArrayModel:
+    """Geometry description of one SRAM structure."""
+
+    name: str
+    entries: int
+    bits_per_entry: int
+    read_ports: int = 1
+    write_ports: int = 1
+    assoc: int = 1
+    dies: int = 4
+    tech: Technology = TECH_65NM
+
+    def __post_init__(self) -> None:
+        if self.entries < 1 or self.bits_per_entry < 1:
+            raise ValueError(f"{self.name}: entries and bits_per_entry must be >= 1")
+        if self.dies < 1:
+            raise ValueError(f"{self.name}: dies must be >= 1")
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def _ports(self) -> int:
+        return self.read_ports + self.write_ports
+
+    def _cell_dims_um(self) -> tuple:
+        scale = 1.0 + self.tech.port_pitch_factor * (self._ports - 1)
+        return self.tech.sram_cell_w_um * scale, self.tech.sram_cell_h_um * scale
+
+    def evaluate(self, mode: PartitionMode = PartitionMode.PLANAR) -> ArrayTiming:
+        """Latency and energy for the chosen partitioning."""
+        if mode is PartitionMode.PLANAR:
+            return self._evaluate_slice(self.entries, self.bits_per_entry, dies_active=1,
+                                        via_hops=0, footprint_divisor=1)
+        if self.dies == 1:
+            # A "3D" mode on a single die degenerates to planar.
+            return self.evaluate(PartitionMode.PLANAR)
+        if mode is PartitionMode.WORD_PARTITIONED:
+            bits = max(1, self.bits_per_entry // self.dies)
+            return self._evaluate_slice(self.entries, bits, dies_active=self.dies,
+                                        via_hops=1, footprint_divisor=self.dies)
+        if mode is PartitionMode.ENTRY_STACKED:
+            entries = max(1, self.entries // self.dies)
+            return self._evaluate_slice(entries, self.bits_per_entry, dies_active=self.dies,
+                                        via_hops=1, footprint_divisor=self.dies)
+        if mode is PartitionMode.FOLDED:
+            fold = math.sqrt(self.dies)
+            entries = max(1, int(round(self.entries / fold)))
+            bits = max(1, int(round(self.bits_per_entry / fold)))
+            return self._evaluate_slice(entries, bits, dies_active=self.dies,
+                                        via_hops=1, footprint_divisor=self.dies)
+        raise ValueError(f"unknown partition mode: {mode}")
+
+    # ------------------------------------------------------------------ #
+
+    def _geometry(self, entries: int, bits: int):
+        """Subarray dimensions and routing span for a (entries x bits) slice."""
+        cell_w, cell_h = self._cell_dims_um()
+        row_banks = max(1, math.ceil(entries / _MAX_ROWS))
+        col_banks = max(1, math.ceil(bits / _MAX_COLS))
+        sub_rows = math.ceil(entries / row_banks)
+        sub_cols = math.ceil(bits / col_banks)
+        area_um2 = (entries * cell_h) * (bits * cell_w) * 1.2  # 20% overhead
+        routing_um = math.sqrt(area_um2)  # H-tree spans ~the array diameter
+        return sub_rows, sub_cols, cell_w, cell_h, area_um2, routing_um
+
+    def _latency_ps(self, entries: int, bits: int, via_hops: int) -> float:
+        tech = self.tech
+        sub_rows, sub_cols, cell_w, cell_h, _area, routing_um = self._geometry(entries, bits)
+        decoder_ps = decoder_depth_fo4(sub_rows) * tech.fo4_delay_ps
+        wordline_ps = wire_delay_ps(sub_cols * cell_w, tech) + tech.fo4_delay_ps
+        bitline_ps = wire_delay_ps(sub_rows * cell_h, tech) * 0.5 + _SENSE_FO4 * tech.fo4_delay_ps
+        bank_count = max(1, math.ceil(entries / _MAX_ROWS)) * max(1, math.ceil(bits / _MAX_COLS))
+        mux_ps = mux_depth_fo4(max(self.assoc, bank_count)) * tech.fo4_delay_ps
+        routing_ps = wire_delay_ps(routing_um, tech)
+        return decoder_ps + wordline_ps + bitline_ps + mux_ps + routing_ps + via_hops * tech.d2d_via_delay_ps
+
+    def _access_energy_pj(self, wl_scale: float, bl_scale: float,
+                          route_scale: float, bits_fraction: float,
+                          via_bits: int) -> float:
+        """Energy of one access, decomposed into wire components.
+
+        The planar access is decode + wordline + bitlines + global routing;
+        3D modes scale each component by how much the corresponding wires
+        shrink, and ``bits_fraction`` scales the bit-dependent components
+        for partial (top-die-only) accesses.
+        """
+        tech = self.tech
+        sub_rows, sub_cols, cell_w, cell_h, _area, routing_um = self._geometry(
+            self.entries, self.bits_per_entry
+        )
+        wl_energy = wire_energy_pj(sub_cols * cell_w, tech) * wl_scale
+        bl_energy = (
+            wire_energy_pj(sub_rows * cell_h, tech)
+            * _BITLINE_SWING * sub_cols * bl_scale * bits_fraction
+        )
+        bus_bits = min(self.bits_per_entry, 64)
+        # Global routing (H-tree, I/O buses, multi-port operand delivery)
+        # dominates large-array access energy in 2D.
+        route_energy = (
+            wire_energy_pj(routing_um, tech) * bus_bits / 3.0
+            * route_scale * bits_fraction * self._ports ** 0.3
+        )
+        decode_energy = 0.02 * math.log2(max(self.entries, 2))
+        via_energy = via_bits * (tech.d2d_via_cap_ff * 1e-15 * tech.vdd ** 2) * 1e12
+        # One access uses one port; extra ports cost through the larger
+        # port-scaled cell geometry (longer wires), not a multiplier here.
+        return wl_energy + bl_energy + route_energy + decode_energy + via_energy
+
+    def _evaluate_slice(self, entries: int, bits: int, dies_active: int,
+                        via_hops: int, footprint_divisor: int) -> ArrayTiming:
+        """Evaluate latency/energy for the chosen slice geometry."""
+        tech = self.tech
+        latency = self._latency_ps(entries, bits, via_hops)
+        _r, _c, cell_w, cell_h, _a, _rt = self._geometry(entries, bits)
+        slice_area_mm2 = (entries * cell_h) * (bits * cell_w) * 1.2 / 1e6
+
+        bus_bits = min(self.bits_per_entry, 64)
+        if dies_active == 1 and via_hops == 0:
+            # Planar: every component at full scale.
+            energy_full = self._access_energy_pj(1.0, 1.0, 1.0, 1.0, 0)
+            energy_top = energy_full
+        elif entries < self.entries and bits == self.bits_per_entry:
+            # ENTRY_STACKED: bitlines shrink by the die count, routing by
+            # the footprint fold; wordline unchanged (full row per die).
+            energy_full = self._access_energy_pj(1.0, 1.0 / self.dies, 0.5, 1.0, bus_bits)
+            energy_top = energy_full
+        elif bits < self.bits_per_entry and entries == self.entries:
+            # WORD_PARTITIONED: a full access reads the same cells across
+            # all dies (no bitline saving) but global routing halves; a
+            # top-only access reads a quarter of the bits.
+            energy_full = self._access_energy_pj(1.0, 1.0, 0.5, 1.0, bus_bits)
+            energy_top = self._access_energy_pj(0.25, 1.0, 0.5, 1.0 / self.dies, bus_bits // 4)
+        else:
+            # FOLDED: both dimensions shrink by sqrt(dies).
+            fold = math.sqrt(self.dies)
+            energy_full = self._access_energy_pj(0.8, 1.0 / fold, 0.5, 1.0, bus_bits)
+            energy_top = energy_full
+        total_area = slice_area_mm2 * dies_active
+        footprint = total_area / footprint_divisor
+        return ArrayTiming(
+            latency_ps=latency,
+            energy_full_pj=energy_full,
+            energy_top_pj=energy_top,
+            area_mm2=total_area,
+            footprint_mm2=footprint,
+        )

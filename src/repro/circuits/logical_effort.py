@@ -1,0 +1,53 @@
+"""Gate-chain delay estimates in the logical-effort style.
+
+We do not re-derive transistor sizing; for the block models it suffices to
+express logic depth in FO4-equivalent stages and convert with the
+technology's FO4 delay.  ``gate_chain_delay_ps`` additionally applies the
+logical-effort observation that a path driving a large electrical effort
+needs ~log4(H) extra stages.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuits.technology import Technology, TECH_65NM
+
+
+def fo4_ps(tech: Technology = TECH_65NM) -> float:
+    """The technology FO4 delay in ps."""
+    return tech.fo4_delay_ps
+
+
+def gate_chain_delay_ps(
+    logic_depth_fo4: float,
+    fanout: float = 1.0,
+    tech: Technology = TECH_65NM,
+) -> float:
+    """Delay of a logic path of ``logic_depth_fo4`` FO4 stages.
+
+    ``fanout`` is the electrical effort at the path output (e.g. a tag
+    broadcast driving N comparators); each factor-of-4 of fanout costs
+    roughly one additional FO4.
+    """
+    if logic_depth_fo4 < 0:
+        raise ValueError(f"logic depth must be non-negative, got {logic_depth_fo4}")
+    if fanout < 1.0:
+        raise ValueError(f"fanout must be >= 1, got {fanout}")
+    extra_stages = math.log(fanout, 4) if fanout > 1.0 else 0.0
+    return (logic_depth_fo4 + extra_stages) * tech.fo4_delay_ps
+
+
+def decoder_depth_fo4(entries: int) -> float:
+    """Logic depth of a row decoder for ``entries`` rows, in FO4."""
+    if entries < 2:
+        return 1.0
+    # Predecode + final NOR: ~0.7 FO4 per address bit plus 2 fixed stages.
+    return 2.0 + 0.7 * math.log2(entries)
+
+
+def mux_depth_fo4(ways: int) -> float:
+    """Logic depth of a ``ways``-input select mux, in FO4."""
+    if ways < 2:
+        return 0.5
+    return 1.0 + 0.5 * math.log2(ways)

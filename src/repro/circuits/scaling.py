@@ -1,0 +1,97 @@
+"""Technology scaling of the 3D benefit.
+
+Section 1 motivates 3D with the poor scaling of wire delay relative to
+gate delay.  This module defines neighbouring technology nodes around
+the paper's 65 nm point and re-derives the 3D frequency benefit at each:
+as wires worsen relative to gates (smaller nodes), the wire-dominated
+loops gain more from stacking.
+
+Scaling rules (classical, first-order):
+
+* FO4 delay scales with feature size (~0.7x per node);
+* wire R/um grows ~1/s^2 for unrepeated local wires (thinner, narrower),
+  partially mitigated for repeated global wires — repeated wire ps/mm
+  *worsens* slightly each node;
+* geometry (cell sizes, pitches) scales with s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List
+
+from repro.circuits.blocks import build_block_models
+from repro.circuits.frequency import derive_frequencies
+from repro.circuits.technology import TECH_65NM, Technology
+
+
+def scaled_technology(node_nm: float, base: Technology = TECH_65NM) -> Technology:
+    """First-order scaling of the 65 nm technology point to ``node_nm``."""
+    if node_nm <= 0:
+        raise ValueError(f"node must be positive, got {node_nm}")
+    s = node_nm / 65.0
+    return replace(
+        base,
+        name=f"ptm-{node_nm:g}nm",
+        fo4_delay_ps=base.fo4_delay_ps * s,
+        wire_r_per_um=base.wire_r_per_um / (s * s),
+        wire_c_per_um=base.wire_c_per_um,          # capacitance/um ~ constant
+        repeated_wire_ps_per_mm=base.repeated_wire_ps_per_mm / (s ** 0.5),
+        gate_cap_ff=base.gate_cap_ff * s,
+        sram_cell_w_um=base.sram_cell_w_um * s,
+        sram_cell_h_um=base.sram_cell_h_um * s,
+        d2d_via_delay_ps=base.d2d_via_delay_ps * (s ** 0.5),
+    )
+
+
+#: Technology nodes evaluated by the scaling study.
+SCALING_NODES = (90.0, 65.0, 45.0)
+
+
+@dataclass
+class ScalingPoint:
+    """The 3D benefit at one technology node."""
+
+    node_nm: float
+    f2d_ghz: float
+    f3d_ghz: float
+
+    @property
+    def frequency_gain(self) -> float:
+        return self.f3d_ghz / self.f2d_ghz - 1.0
+
+
+@dataclass
+class ScalingResult:
+    """The full node sweep."""
+
+    points: List[ScalingPoint]
+
+    def gain_by_node(self) -> Dict[float, float]:
+        return {p.node_nm: p.frequency_gain for p in self.points}
+
+    def format(self) -> str:
+        lines = [
+            "3D frequency benefit vs technology node",
+            f"{'node':>6s} {'f2D GHz':>8s} {'f3D GHz':>8s} {'gain':>7s}",
+        ]
+        for p in self.points:
+            lines.append(
+                f"{p.node_nm:5.0f}n {p.f2d_ghz:8.2f} {p.f3d_ghz:8.2f} "
+                f"{p.frequency_gain:6.1%}"
+            )
+        lines.append("wire delay worsens relative to gates at smaller nodes,")
+        lines.append("so the wire-removing 3D organization gains more")
+        return "\n".join(lines)
+
+
+def run_scaling(nodes=SCALING_NODES) -> ScalingResult:
+    """Derive the 2D/3D frequencies at each node."""
+    points = []
+    for node in nodes:
+        tech = scaled_technology(node)
+        plan = derive_frequencies(build_block_models(tech))
+        points.append(
+            ScalingPoint(node_nm=node, f2d_ghz=plan.f2d_ghz, f3d_ghz=plan.f3d_ghz)
+        )
+    return ScalingResult(points=points)

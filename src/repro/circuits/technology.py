@@ -1,0 +1,79 @@
+"""65 nm process and 3D-stack technology constants.
+
+Values follow the paper's methodology section: 65 nm predictive technology
+models for transistors, Intel 130 nm wire parameters extrapolated to 65 nm,
+die-to-die via pitches of 1 um (face-to-face) and 2 um (backside), 5 um to
+cross between two die faces and 20 um to cross a back-to-back interface,
+and a reported d2d via delay under one FO4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Process constants used by the delay/energy models."""
+
+    name: str
+    #: supply voltage (V)
+    vdd: float
+    #: fanout-of-4 inverter delay (ps)
+    fo4_delay_ps: float
+    #: wire resistance per um (ohm/um), intermediate metal
+    wire_r_per_um: float
+    #: wire capacitance per um (fF/um), intermediate metal
+    wire_c_per_um: float
+    #: optimally repeated wire delay (ps/mm)
+    repeated_wire_ps_per_mm: float
+    #: effective switched capacitance of one gate input (fF)
+    gate_cap_ff: float
+    #: SRAM cell dimensions (um) for a single-port 6T cell
+    sram_cell_w_um: float
+    sram_cell_h_um: float
+    #: extra cell pitch per additional port (dimensionless multiplier/port)
+    port_pitch_factor: float
+    #: d2d via traversal delay (ps); the paper cites < 1 FO4
+    d2d_via_delay_ps: float
+    #: d2d via capacitance (fF)
+    d2d_via_cap_ff: float
+    #: distance crossed at a face-to-face interface (um)
+    f2f_distance_um: float
+    #: distance crossed at a back-to-back interface (um)
+    b2b_distance_um: float
+    #: d2d via pitch (um), face-to-face
+    f2f_via_pitch_um: float
+    #: d2d via pitch (um), backside
+    b2b_via_pitch_um: float
+
+    @property
+    def wire_rc_ps_per_um2(self) -> float:
+        """Distributed-RC coefficient: 0.38 * R * C, in ps/um^2."""
+        # R in ohm/um, C in fF/um -> R*C in ohm*fF/um^2 = 1e-15 s/um^2;
+        # multiply by 1e12/1e-15... keep units: ohm * fF = 1e-15 s, i.e.
+        # 1e-3 ps, so the product in ps/um^2 is R*C*1e-3.
+        return 0.38 * self.wire_r_per_um * self.wire_c_per_um * 1e-3
+
+
+#: The 65 nm technology point used throughout the reproduction.  The FO4
+#: delay (16 ps) puts the baseline 2.66 GHz cycle at ~23.5 FO4, consistent
+#: with a Core 2-class design.
+TECH_65NM = Technology(
+    name="ptm-65nm",
+    vdd=1.1,
+    fo4_delay_ps=16.0,
+    wire_r_per_um=1.8,
+    wire_c_per_um=0.20,
+    repeated_wire_ps_per_mm=55.0,
+    gate_cap_ff=1.2,
+    sram_cell_w_um=1.2,
+    sram_cell_h_um=0.9,
+    port_pitch_factor=0.55,
+    d2d_via_delay_ps=12.0,
+    d2d_via_cap_ff=2.5,
+    f2f_distance_um=5.0,
+    b2b_distance_um=20.0,
+    f2f_via_pitch_um=1.0,
+    b2b_via_pitch_um=2.0,
+)

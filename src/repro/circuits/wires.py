@@ -1,0 +1,57 @@
+"""Wire delay and energy models.
+
+Two regimes:
+
+* short, unrepeated wires obey the distributed-RC (Elmore) quadratic,
+  ``t = 0.38 * R * C * L^2``;
+* long wires are optimally repeated and scale linearly with length.
+
+The crossover length is where the two estimates meet; below it we charge
+the quadratic, above it the linear model plus a fixed repeater-insertion
+overhead folded into the per-mm constant.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.technology import Technology, TECH_65NM
+
+
+def unrepeated_wire_delay_ps(length_um: float, tech: Technology = TECH_65NM) -> float:
+    """Distributed-RC delay of an unrepeated wire of ``length_um``."""
+    if length_um < 0:
+        raise ValueError(f"wire length must be non-negative, got {length_um}")
+    return tech.wire_rc_ps_per_um2 * length_um * length_um
+
+
+def repeated_wire_delay_ps(length_um: float, tech: Technology = TECH_65NM) -> float:
+    """Delay of an optimally repeated wire of ``length_um``."""
+    if length_um < 0:
+        raise ValueError(f"wire length must be non-negative, got {length_um}")
+    return tech.repeated_wire_ps_per_mm * (length_um / 1000.0)
+
+
+def wire_delay_ps(length_um: float, tech: Technology = TECH_65NM) -> float:
+    """Best-achievable wire delay: min of the two regimes."""
+    return min(
+        unrepeated_wire_delay_ps(length_um, tech),
+        repeated_wire_delay_ps(length_um, tech),
+    )
+
+
+def wire_cap_ff(length_um: float, tech: Technology = TECH_65NM) -> float:
+    """Total capacitance of a wire of ``length_um`` (fF)."""
+    if length_um < 0:
+        raise ValueError(f"wire length must be non-negative, got {length_um}")
+    return tech.wire_c_per_um * length_um
+
+
+def wire_energy_pj(length_um: float, tech: Technology = TECH_65NM, activity: float = 1.0) -> float:
+    """Switching energy of one full-swing transition on the wire (pJ).
+
+    ``E = C * Vdd^2`` (the 1/2 CV^2 charge plus the 1/2 CV^2 dissipated in
+    the driver on the complementary transition).
+    """
+    if not 0.0 <= activity <= 1.0:
+        raise ValueError(f"activity must be in [0, 1], got {activity}")
+    cap_f = wire_cap_ff(length_um, tech) * 1e-15
+    return cap_f * tech.vdd * tech.vdd * activity * 1e12

@@ -1,0 +1,207 @@
+"""Command-line interface for the reproduction.
+
+Usage::
+
+    python -m repro table2
+    python -m repro figure8  [--fast]
+    python -m repro figure9  [--fast]
+    python -m repro figure10 [--fast]
+    python -m repro density  [--fast]
+    python -m repro width    [--fast]
+    python -m repro dvfs     [--fast]
+    python -m repro roadmap  [--fast]
+    python -m repro leakage  [--fast]
+    python -m repro pairing  [--fast]
+    python -m repro report   [--fast] [-o report.md]
+    python -m repro simulate BENCHMARK [--config 3D] [--length N]
+    python -m repro trace BENCHMARK [--length N] [-o trace.jsonl.gz]
+    python -m repro list
+
+``--fast`` runs a reduced benchmark set at shorter trace lengths.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.experiments import (
+    ExperimentContext,
+    ExperimentSettings,
+    run_figure8,
+    run_figure9,
+    run_figure10,
+    run_power_density,
+    run_table2,
+    run_width_stats,
+)
+from repro.experiments.dvfs import run_dvfs
+from repro.experiments.report import generate_report
+from repro.experiments.leakage import run_leakage_feedback
+from repro.experiments.pairing import run_pairing
+from repro.experiments.roadmap import run_roadmap
+
+FAST_SETTINGS = ExperimentSettings(
+    trace_length=8_000,
+    warmup=2_500,
+    benchmarks=("mpeg2", "mcf", "susan", "yacr2", "swim", "adpcm"),
+    thermal_grid=48,
+)
+
+
+def _context(args) -> ExperimentContext:
+    settings = FAST_SETTINGS if args.fast else ExperimentSettings()
+    return ExperimentContext(settings)
+
+
+def _cmd_table2(args) -> int:
+    print(run_table2().format())
+    return 0
+
+
+def _cmd_figure8(args) -> int:
+    print(run_figure8(_context(args)).format())
+    return 0
+
+
+def _cmd_figure9(args) -> int:
+    print(run_figure9(_context(args)).format())
+    return 0
+
+
+def _cmd_figure10(args) -> int:
+    print(run_figure10(_context(args)).format())
+    return 0
+
+
+def _cmd_density(args) -> int:
+    print(run_power_density(_context(args)).format())
+    return 0
+
+
+def _cmd_width(args) -> int:
+    print(run_width_stats(_context(args)).format())
+    return 0
+
+
+def _cmd_dvfs(args) -> int:
+    print(run_dvfs(_context(args)).format())
+    return 0
+
+
+def _cmd_roadmap(args) -> int:
+    print(run_roadmap(_context(args)).format())
+    return 0
+
+
+def _cmd_leakage(args) -> int:
+    print(run_leakage_feedback(_context(args)).format())
+    return 0
+
+
+def _cmd_pairing(args) -> int:
+    print(run_pairing(_context(args)).format())
+    return 0
+
+
+def _cmd_report(args) -> int:
+    text = generate_report(_context(args))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as stream:
+            stream.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.cpu.pipeline import simulate
+    from repro.experiments.context import _all_configurations
+    from repro.workloads.suite import generate
+
+    configs = _all_configurations()
+    if args.config not in configs:
+        print(f"unknown config {args.config!r}; choose from {', '.join(configs)}",
+              file=sys.stderr)
+        return 2
+    trace = generate(args.benchmark, length=args.length)
+    result = simulate(trace, configs[args.config], warmup=args.length // 3)
+    print(result.summary())
+    for metric, value in sorted(result.herding.items()):
+        if not metric.startswith("herded::"):
+            print(f"  {metric}: {value:.3f}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.isa.serialization import save_trace
+    from repro.workloads.suite import generate
+
+    trace = generate(args.benchmark, length=args.length)
+    output = args.output or f"{args.benchmark}.trace.jsonl.gz"
+    save_trace(trace, output)
+    stats = trace.stats()
+    print(f"wrote {output} ({len(trace)} instructions)")
+    print(stats.format())
+    return 0
+
+
+def _cmd_list(args) -> int:
+    from repro.workloads.suite import BENCHMARKS
+    for name, spec in BENCHMARKS.items():
+        print(f"{name:<12s} {spec.benchmark_class.value}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Thermal Herding (HPCA 2007) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add(name, fn, help_text, fast=True):
+        p = sub.add_parser(name, help=help_text)
+        if fast:
+            p.add_argument("--fast", action="store_true",
+                           help="reduced benchmark set / shorter traces")
+        p.set_defaults(fn=fn)
+        return p
+
+    add("table2", _cmd_table2, "Table 2: block latencies and frequencies", fast=False)
+    add("figure8", _cmd_figure8, "Figure 8: performance of the five configs")
+    add("figure9", _cmd_figure9, "Figure 9: power of the three processors")
+    add("figure10", _cmd_figure10, "Figure 10: thermal maps")
+    add("density", _cmd_density, "Section 5.3: iso-power density experiment")
+    add("width", _cmd_width, "Section 3.8: width prediction accuracy")
+    add("dvfs", _cmd_dvfs, "frequency-for-temperature sweep")
+    add("roadmap", _cmd_roadmap, "Figure 2 roadmap design points")
+    add("leakage", _cmd_leakage, "leakage-temperature feedback fixed point")
+    add("pairing", _cmd_pairing, "heterogeneous core pairing thermals")
+
+    report = add("report", _cmd_report, "full markdown report of all experiments")
+    report.add_argument("-o", "--output", help="write the report to a file")
+
+    sim = add("simulate", _cmd_simulate, "simulate one benchmark", fast=False)
+    sim.add_argument("benchmark")
+    sim.add_argument("--config", default="3D")
+    sim.add_argument("--length", type=int, default=20_000)
+
+    trace = add("trace", _cmd_trace, "generate and save a trace", fast=False)
+    trace.add_argument("benchmark")
+    trace.add_argument("--length", type=int, default=20_000)
+    trace.add_argument("-o", "--output")
+
+    add("list", _cmd_list, "list the benchmark suite", fast=False)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

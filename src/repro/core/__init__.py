@@ -1,0 +1,67 @@
+"""Thermal Herding techniques (the paper's contribution, Section 3).
+
+Each module models one technique as a small stateful component with two
+responsibilities: (1) decide the *timing* consequences (stall cycles,
+re-executions) that the CPU model charges, and (2) account the *per-die
+switching activity* that the power and thermal models consume.
+
+Components
+----------
+* :mod:`~repro.core.width_prediction` — PC-indexed two-bit saturating
+  counter width predictor (Section 3, [13]).
+* :mod:`~repro.core.register_file` — word-partitioned register file with
+  width memoization bits and group-stall semantics (Section 3.1).
+* :mod:`~repro.core.alu` — 3D functional-unit gating with input-stall and
+  output-re-execute misprediction handling (Section 3.2).
+* :mod:`~repro.core.bypass` — significance-partitioned bypass activity
+  (Section 3.3).
+* :mod:`~repro.core.scheduler_allocation` — entry-stacked scheduler with
+  top-die-first allocation and per-die broadcast gating (Section 3.4).
+* :mod:`~repro.core.lsq_pam` — partial address memoization for the
+  load/store queues (Section 3.5).
+* :mod:`~repro.core.dcache_encoding` — 2-bit partial-value encoding for
+  the L1 data cache (Section 3.6).
+* :mod:`~repro.core.btb_memoization` — BTB target memoization (Section 3.7).
+* :mod:`~repro.core.direction_split` — split direction/hysteresis
+  predictor arrays (Section 3.7).
+* :mod:`~repro.core.activity` — per-module, per-die activity accounting.
+"""
+
+from repro.core.activity import ActivityCounters, ModuleActivity
+from repro.core.width_prediction import WidthPredictor, WidthPredictorStats
+from repro.core.register_file import PartitionedRegisterFile, RegisterFileAccess
+from repro.core.alu import PartitionedALU, ALUExecution
+from repro.core.bypass import BypassNetwork
+from repro.core.scheduler_allocation import (
+    AllocationPolicy,
+    EntryStackedScheduler,
+)
+from repro.core.lsq_pam import PartialAddressMemoization
+from repro.core.dcache_encoding import (
+    EncodingScheme,
+    PartialValueCache,
+    CacheAccessOutcome,
+)
+from repro.core.btb_memoization import MemoizedBTB, BTBLookup
+from repro.core.direction_split import SplitDirectionPredictorActivity
+
+__all__ = [
+    "ActivityCounters",
+    "ModuleActivity",
+    "WidthPredictor",
+    "WidthPredictorStats",
+    "PartitionedRegisterFile",
+    "RegisterFileAccess",
+    "PartitionedALU",
+    "ALUExecution",
+    "BypassNetwork",
+    "AllocationPolicy",
+    "EntryStackedScheduler",
+    "PartialAddressMemoization",
+    "EncodingScheme",
+    "PartialValueCache",
+    "CacheAccessOutcome",
+    "MemoizedBTB",
+    "BTBLookup",
+    "SplitDirectionPredictorActivity",
+]

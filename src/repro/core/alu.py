@@ -1,0 +1,74 @@
+"""3D-partitioned arithmetic units with width gating (Section 3.2).
+
+The adder (and by extension the other integer units) spans four dies with
+16 bits each; on a predicted-low-width instruction the lower three dies
+are clock gated.  Two unsafe scenarios:
+
+* **input misprediction** — operands turn out full width: one stall cycle
+  to re-enable the upper 48 bits before execution starts;
+* **output misprediction** — the result turns out full width after a
+  low-width prediction: the instruction must re-execute (the result's
+  upper bits were never computed), costing its full latency again.
+
+Note a full-width *prediction* always enables the whole unit, because two
+low-width operands can still produce a full-width result (16+16 -> 17 bits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.activity import ActivityCounters, NUM_DIES
+
+
+@dataclass(frozen=True)
+class ALUExecution:
+    """Timing consequences of one integer execution."""
+
+    #: extra cycles before execution (input unsafe misprediction)
+    input_stall_cycles: int
+    #: True when the instruction must re-execute (output misprediction)
+    reexecute: bool
+    #: dies active for this execution
+    dies_active: int
+
+
+class PartitionedALU:
+    """Activity/timing model of the word-partitioned integer units."""
+
+    def __init__(self, counters: ActivityCounters, module: str = "alu"):
+        self._counters = counters
+        self._module = module
+        self.input_stalls = 0
+        self.reexecutions = 0
+
+    def execute(
+        self,
+        predicted_low: bool,
+        operands_low: bool,
+        result_low: bool,
+    ) -> ALUExecution:
+        """Execute one integer instruction under a width prediction."""
+        if not predicted_low:
+            # Full-width prediction: all four dies active, no risk.
+            self._counters.record(self._module, dies_active=NUM_DIES)
+            return ALUExecution(input_stall_cycles=0, reexecute=False, dies_active=NUM_DIES)
+
+        if not operands_low:
+            # Unsafe input misprediction: one cycle to enable the upper
+            # 48 bits, then a full-width execution.
+            self.input_stalls += 1
+            self._counters.record(self._module, dies_active=NUM_DIES)
+            return ALUExecution(input_stall_cycles=1, reexecute=False, dies_active=NUM_DIES)
+
+        if not result_low:
+            # Output misprediction: the gated execution produced a
+            # truncated result; re-execute at full width.
+            self.reexecutions += 1
+            self._counters.record(self._module, dies_active=1)       # wasted pass
+            self._counters.record(self._module, dies_active=NUM_DIES)  # re-execution
+            return ALUExecution(input_stall_cycles=0, reexecute=True, dies_active=NUM_DIES)
+
+        # Correct low-width prediction: top die only.
+        self._counters.record(self._module, dies_active=1)
+        return ALUExecution(input_stall_cycles=0, reexecute=False, dies_active=1)

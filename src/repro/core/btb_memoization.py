@@ -1,0 +1,61 @@
+"""Branch target buffer with target memoization (Section 3.7).
+
+Most branch targets lie close to the branch itself (PC-relative), so the
+BTB stores only the low 16 target bits on the top die plus one *target
+memoization bit* saying whether the upper 48 bits differ from the
+branch's own PC.  When they do differ (the infrequent case), the
+prediction pipeline stalls one cycle to retrieve the upper bits from the
+lower three dies — reading only the hit way, since the tag match resolved
+in the first cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.activity import ActivityCounters, NUM_DIES
+from repro.isa.values import upper_bits
+
+
+@dataclass(frozen=True)
+class BTBLookup:
+    """Outcome of a memoized BTB target read."""
+
+    #: extra front-end bubble cycles (far target needing the lower dies)
+    stall_cycles: int
+    #: dies touched
+    dies_active: int
+    #: True when the target was reconstructed from the top die alone
+    herded: bool
+
+
+class MemoizedBTB:
+    """Activity/timing model of the word-partitioned BTB target array.
+
+    Hit/miss behaviour lives in the front-end model; this class accounts
+    the die gating and memoization stalls for *hits* (a missing entry has
+    no target to read at all).
+    """
+
+    def __init__(self, counters: ActivityCounters, module: str = "btb"):
+        self._counters = counters
+        self._module = module
+        self.lookups = 0
+        self.far_target_stalls = 0
+
+    def read_target(self, branch_pc: int, target: int) -> BTBLookup:
+        """Read the predicted target for a hit at ``branch_pc``."""
+        self.lookups += 1
+        near = upper_bits(target) == upper_bits(branch_pc)
+        if near:
+            self._counters.record(self._module, dies_active=1)
+            return BTBLookup(stall_cycles=0, dies_active=1, herded=True)
+        self.far_target_stalls += 1
+        self._counters.record(self._module, dies_active=NUM_DIES)
+        return BTBLookup(stall_cycles=1, dies_active=NUM_DIES, herded=False)
+
+    @property
+    def herded_fraction(self) -> float:
+        if not self.lookups:
+            return 0.0
+        return 1.0 - self.far_target_stalls / self.lookups

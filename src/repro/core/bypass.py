@@ -1,0 +1,25 @@
+"""Significance-partitioned bypass network (Section 3.3).
+
+The bypass network needs no misprediction circuitry of its own — unsafe
+cases are resolved by the functional units before results reach it.  A
+correctly-predicted low-width result drives only the top die's wires; a
+full-width result drives all four dies.
+"""
+
+from __future__ import annotations
+
+from repro.core.activity import ActivityCounters, NUM_DIES
+
+
+class BypassNetwork:
+    """Per-die activity accounting for result broadcasts."""
+
+    def __init__(self, counters: ActivityCounters, module: str = "bypass"):
+        self._counters = counters
+        self._module = module
+
+    def broadcast(self, result_low: bool) -> int:
+        """Broadcast one result; returns the number of dies driven."""
+        dies = 1 if result_low else NUM_DIES
+        self._counters.record(self._module, dies_active=dies)
+        return dies

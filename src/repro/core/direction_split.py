@@ -1,0 +1,54 @@
+"""Split direction/hysteresis predictor arrays (Section 3.7).
+
+Two-bit-counter direction predictors are split into a direction-bit array
+(the MSBs) and a hysteresis-bit array (the LSBs), following Seznec's
+observation that only the direction bit is needed to predict.  In the 3D
+organization the direction array occupies the top two dies (read on every
+prediction *and* update) while the hysteresis array sits on the bottom
+two dies (touched only on updates).
+"""
+
+from __future__ import annotations
+
+from repro.core.activity import ActivityCounters
+
+#: Dies holding the direction-bit array (top half of the stack).
+DIRECTION_DIES = (0, 1)
+#: Dies holding the hysteresis-bit array (bottom half).
+HYSTERESIS_DIES = (2, 3)
+
+
+class SplitDirectionPredictorActivity:
+    """Per-die activity accounting for the split predictor arrays.
+
+    The prediction logic itself lives in
+    :mod:`repro.cpu.branch_predictor`; this model only assigns its reads
+    and updates to dies.
+    """
+
+    def __init__(self, counters: ActivityCounters, module: str = "dir_predictor"):
+        self._counters = counters
+        self._module = module
+        self.predictions = 0
+        self.updates = 0
+
+    def record_prediction(self) -> None:
+        """A lookup reads only the direction array (top two dies)."""
+        self.predictions += 1
+        activity = self._counters.module(self._module)
+        for die in DIRECTION_DIES:
+            activity.record_die(die)
+
+    def record_update(self) -> None:
+        """An update touches both arrays (all four dies)."""
+        self.updates += 1
+        activity = self._counters.module(self._module)
+        for die in DIRECTION_DIES + HYSTERESIS_DIES:
+            activity.record_die(die)
+
+    @property
+    def top_half_fraction(self) -> float:
+        """Fraction of array touches landing on the top two dies."""
+        touches_top = 2 * (self.predictions + self.updates)
+        touches_total = 2 * self.predictions + 4 * self.updates
+        return touches_top / touches_total if touches_total else 0.0

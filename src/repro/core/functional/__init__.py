@@ -1,0 +1,33 @@
+"""Functional (bit-accurate) models of the partitioned datapath.
+
+The rest of :mod:`repro.core` models the *timing and activity* of the
+Thermal Herding structures; this subpackage implements them functionally
+— real 16-bit word slices, real cross-die carries, real memoization
+bits — so the partitioning itself can be verified: a word-partitioned
+adder must add, a partial-value cache line must reconstruct its values
+exactly.
+
+* :mod:`~repro.core.functional.adder` — the 4-die word-sliced adder with
+  explicit per-die carry propagation (Section 3.2's Figure 4).
+* :mod:`~repro.core.functional.register_file` — a register file storing
+  actual word slices per die with width memoization bits (Figure 3).
+* :mod:`~repro.core.functional.cache_line` — L1D lines holding the low
+  word plus 2-bit upper-bit encodings, with exact reconstruction
+  (Section 3.6).
+"""
+
+from repro.core.functional.adder import PartitionedAdderFunctional, AdderTrace
+from repro.core.functional.register_file import (
+    FunctionalRegisterFile,
+    RegisterReadOutcome,
+)
+from repro.core.functional.cache_line import EncodedCacheLine, EncodedWord
+
+__all__ = [
+    "PartitionedAdderFunctional",
+    "AdderTrace",
+    "FunctionalRegisterFile",
+    "RegisterReadOutcome",
+    "EncodedCacheLine",
+    "EncodedWord",
+]

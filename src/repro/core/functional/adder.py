@@ -1,0 +1,120 @@
+"""Bit-accurate 4-die word-partitioned adder (Section 3.2, Figure 4).
+
+Each die adds one 16-bit word; carries cross dies through d2d vias.  When
+the width prediction gates the lower three dies, only die 0 computes; the
+result is correct iff the true sum fits 16 signed bits *and* no carry
+would have left die 0 — exactly the output-misprediction condition the
+timing model charges a re-execution for.
+
+The functional model exposes which dies computed and which carries
+crossed so tests can verify the gating logic against plain addition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.activity import NUM_DIES
+from repro.isa.values import (
+    VALUE_BITS,
+    WORD_BITS,
+    WORDS_PER_VALUE,
+    join_words,
+    split_words,
+    to_unsigned,
+)
+
+_WORD_MASK = (1 << WORD_BITS) - 1
+
+
+@dataclass(frozen=True)
+class AdderTrace:
+    """What one addition did on the stack."""
+
+    #: full 64-bit result (truncated if the upper dies were gated)
+    result: int
+    #: per-die 16-bit sum words, LSW (die 0) first
+    words: Tuple[int, ...]
+    #: per-die carry-out bits (die 3's carry-out is the discarded C64)
+    carries: Tuple[int, ...]
+    #: dies that actually computed (1 when gated, NUM_DIES otherwise)
+    dies_active: int
+    #: True when gating truncated a result that needed the upper dies
+    truncated: bool
+
+
+class PartitionedAdderFunctional:
+    """The word-sliced ripple-of-slices adder."""
+
+    def __init__(self, dies: int = NUM_DIES):
+        if dies != WORDS_PER_VALUE:
+            raise ValueError(
+                f"the 64-bit datapath partitions into exactly {WORDS_PER_VALUE} "
+                f"dies, got {dies}"
+            )
+        self.dies = dies
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _word_add(a: int, b: int, carry_in: int) -> Tuple[int, int]:
+        """One die's 16-bit add: (sum word, carry out)."""
+        total = a + b + carry_in
+        return total & _WORD_MASK, total >> WORD_BITS
+
+    def add(self, a: int, b: int, gate_upper: bool = False) -> AdderTrace:
+        """Add two 64-bit values on the stack.
+
+        ``gate_upper`` models a low-width prediction: dies 1-3 are clock
+        gated, their slices output zero, and any carry out of die 0 is
+        lost — the hardware detects this and requests re-execution.
+        """
+        a_words = split_words(to_unsigned(a))
+        b_words = split_words(to_unsigned(b))
+        words: List[int] = []
+        carries: List[int] = []
+        carry = 0
+        active = 1 if gate_upper else self.dies
+        for die in range(self.dies):
+            if gate_upper and die > 0:
+                words.append(0)
+                carries.append(0)
+                continue
+            word, carry = self._word_add(a_words[die], b_words[die], carry)
+            words.append(word)
+            carries.append(carry)
+
+        true_sum = (to_unsigned(a) + to_unsigned(b)) & ((1 << VALUE_BITS) - 1)
+        if gate_upper:
+            # A gated result is architecturally the sign extension of the
+            # low word (the memoization bit marks it low width); it is
+            # correct iff the true sum really is that low-width value —
+            # 0x7FFF + 0x7FFF needs 17 signed bits and must re-execute.
+            from repro.isa.values import sign_extend
+
+            result = to_unsigned(sign_extend(words[0], WORD_BITS))
+            truncated = true_sum != result
+        else:
+            result = join_words(tuple(words))
+            truncated = False
+        return AdderTrace(
+            result=result,
+            words=tuple(words),
+            carries=tuple(carries),
+            dies_active=active,
+            truncated=truncated,
+        )
+
+    def add_checked(self, a: int, b: int, predicted_low: bool) -> Tuple[int, bool]:
+        """Add under a width prediction; re-execute on truncation.
+
+        Returns ``(correct result, reexecuted)`` — the functional analogue
+        of :meth:`repro.core.alu.PartitionedALU.execute`'s output
+        misprediction path.
+        """
+        first = self.add(a, b, gate_upper=predicted_low)
+        if not first.truncated:
+            return first.result, False
+        full = self.add(a, b, gate_upper=False)
+        return full.result, True

@@ -1,0 +1,102 @@
+"""Bit-accurate L1D line with the 2-bit partial-value encoding (Section 3.6).
+
+Each 64-bit word of a cache line stores its low 16 bits on the top die
+plus two encoding bits; the upper 48 bits live on the lower three dies
+*only* for words encoded LITERAL.  Reads of compressed words reconstruct
+the value from the top die alone; LITERAL words need the lower dies (the
+width-misprediction stall case when the load predicted low).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.isa.values import (
+    UpperBitsEncoding,
+    WORD_BITS,
+    classify_upper_bits,
+    to_unsigned,
+    upper_bits,
+)
+
+_LOW_MASK = (1 << WORD_BITS) - 1
+_UPPER_ONES = (1 << 48) - 1
+
+#: 64-bit words per 64-byte cache line.
+WORDS_PER_LINE = 8
+
+
+@dataclass
+class EncodedWord:
+    """One stored word: top-die state plus optional lower-die literal."""
+
+    low16: int
+    encoding: UpperBitsEncoding
+    #: literal upper 48 bits; only meaningful when encoding is LITERAL
+    upper48: int = 0
+
+
+class EncodedCacheLine:
+    """A 64-byte data line in the word-partitioned L1D."""
+
+    def __init__(self, base_address: int, words: int = WORDS_PER_LINE):
+        if base_address % 8:
+            raise ValueError(f"base address must be 8-byte aligned, got {base_address:#x}")
+        if words < 1:
+            raise ValueError(f"need at least one word, got {words}")
+        self.base_address = base_address
+        self._words: List[Optional[EncodedWord]] = [None] * words
+
+    # ------------------------------------------------------------------ #
+
+    def _index(self, address: int) -> int:
+        offset = address - self.base_address
+        if offset % 8 or not 0 <= offset // 8 < len(self._words):
+            raise ValueError(
+                f"address {address:#x} not an aligned word of the line at "
+                f"{self.base_address:#x}"
+            )
+        return offset // 8
+
+    def store(self, address: int, value: int) -> int:
+        """Store a word; returns the dies written (1 if compressed)."""
+        index = self._index(address)
+        value = to_unsigned(value)
+        encoding = classify_upper_bits(value, address)
+        word = EncodedWord(low16=value & _LOW_MASK, encoding=encoding)
+        if encoding is UpperBitsEncoding.LITERAL:
+            word.upper48 = upper_bits(value)
+        self._words[index] = word
+        return 1 if encoding.is_compressed else 4
+
+    def load(self, address: int) -> Tuple[int, int]:
+        """Load a word; returns (value, dies read).
+
+        Compressed words reconstruct exactly from the top die; LITERAL
+        words read their upper bits from the lower dies.
+        """
+        index = self._index(address)
+        word = self._words[index]
+        if word is None:
+            raise KeyError(f"word at {address:#x} never stored")
+        if word.encoding is UpperBitsEncoding.ALL_ZEROS:
+            return word.low16, 1
+        if word.encoding is UpperBitsEncoding.ALL_ONES:
+            return (_UPPER_ONES << WORD_BITS) | word.low16, 1
+        if word.encoding is UpperBitsEncoding.SAME_AS_ADDRESS:
+            return (upper_bits(address) << WORD_BITS) | word.low16, 1
+        return (word.upper48 << WORD_BITS) | word.low16, 4
+
+    def encoding_of(self, address: int) -> Optional[UpperBitsEncoding]:
+        """The stored encoding bits for a word (None if never stored)."""
+        index = self._index(address)
+        word = self._words[index]
+        return word.encoding if word is not None else None
+
+    def compressed_fraction(self) -> float:
+        """Fraction of stored words reconstructible from the top die."""
+        stored = [w for w in self._words if w is not None]
+        if not stored:
+            return 0.0
+        return sum(1 for w in stored if w.encoding.is_compressed) / len(stored)

@@ -1,0 +1,112 @@
+"""Bit-accurate word-partitioned register file (Section 3.1, Figure 3).
+
+Each architectural register's 64 bits live as four 16-bit slices, one per
+die; the top die additionally stores the width memoization bit ("the
+remaining three die contain non-zero state").  A predicted-low-width read
+touches only the top die: the value is reconstructed by sign-extending
+the low word, which is exact precisely when the memoization bit is clear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.activity import NUM_DIES
+from repro.isa.values import (
+    WORD_BITS,
+    is_low_width,
+    join_words,
+    sign_extend,
+    split_words,
+    to_unsigned,
+)
+
+
+@dataclass(frozen=True)
+class RegisterReadOutcome:
+    """Result of a width-predicted register read."""
+
+    value: int
+    dies_read: int
+    #: True when the top-die probe detected an unsafe width misprediction
+    unsafe: bool
+
+
+class FunctionalRegisterFile:
+    """Word-sliced storage with memoization bits."""
+
+    def __init__(self, registers: int = 32, dies: int = NUM_DIES):
+        if registers < 1:
+            raise ValueError(f"need at least one register, got {registers}")
+        self.registers = registers
+        self.dies = dies
+        #: per-die slices: _slices[die][reg]
+        self._slices: List[List[int]] = [[0] * registers for _ in range(dies)]
+        #: top-die memoization bits: True = upper dies hold non-zero state
+        self._memo_full: List[bool] = [False] * registers
+
+    # ------------------------------------------------------------------ #
+
+    def _check(self, reg: int) -> None:
+        if not 0 <= reg < self.registers:
+            raise ValueError(f"register {reg} out of range [0, {self.registers})")
+
+    def write(self, reg: int, value: int) -> int:
+        """Write a 64-bit value; returns the dies that switched.
+
+        A low-width value only writes the top die (the lower slices hold
+        its sign extension implicitly via the cleared memoization bit —
+        but the hardware must clear stale upper words when the previous
+        occupant was full width, which we model by writing the extension).
+        """
+        self._check(reg)
+        value = to_unsigned(value)
+        words = split_words(value)
+        low = is_low_width(value)
+        self._memo_full[reg] = not low
+        if low:
+            # Only the top die switches; the cleared memoization bit makes
+            # the upper slices architecturally "the sign extension".
+            self._slices[0][reg] = words[0]
+            return 1
+        for die in range(self.dies):
+            self._slices[die][reg] = words[die]
+        return self.dies
+
+    def read_full(self, reg: int) -> int:
+        """Full-width read touching all dies.
+
+        When the memoization bit marks the register low width, the upper
+        slices are stale; the value is the low word's sign extension.
+        """
+        self._check(reg)
+        if not self._memo_full[reg]:
+            return to_unsigned(sign_extend(self._slices[0][reg], WORD_BITS))
+        return join_words(tuple(self._slices[die][reg] for die in range(self.dies)))
+
+    def read_predicted(self, reg: int, predicted_low: bool) -> RegisterReadOutcome:
+        """Width-predicted read.
+
+        Predicted low: read the top die and the memoization bit; if the
+        bit says full width, the prediction was unsafe and a full read
+        follows (all dies, one stall in the timing model).
+        """
+        self._check(reg)
+        if not predicted_low:
+            return RegisterReadOutcome(
+                value=self.read_full(reg), dies_read=self.dies, unsafe=False
+            )
+        if self._memo_full[reg]:
+            # Unsafe: the probe + the corrective full read.
+            return RegisterReadOutcome(
+                value=self.read_full(reg), dies_read=self.dies, unsafe=True
+            )
+        low_word = self._slices[0][reg]
+        value = to_unsigned(sign_extend(low_word, WORD_BITS))
+        return RegisterReadOutcome(value=value, dies_read=1, unsafe=False)
+
+    def memoization_bit(self, reg: int) -> bool:
+        """True when the register's upper dies hold meaningful state."""
+        self._check(reg)
+        return self._memo_full[reg]

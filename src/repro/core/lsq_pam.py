@@ -1,0 +1,65 @@
+"""Partial address memoization for the load/store queues (Section 3.5).
+
+Load and store addresses are almost always full-width, but their upper 48
+bits change rarely (stack traffic, strided walks).  PAM broadcasts only
+the low 16 address bits on the top die plus one extra bit saying "the
+remaining 48 bits equal those of the most recent store address".  When
+the bit is set, the lower three dies of the queue CAMs stay gated; when
+it is clear, the full address must be broadcast to all dies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.activity import ActivityCounters, NUM_DIES
+from repro.isa.values import upper_bits
+
+
+class PartialAddressMemoization:
+    """PAM state and activity accounting for LQ/SQ address broadcasts."""
+
+    def __init__(
+        self,
+        counters: ActivityCounters,
+        lq_module: str = "load_queue",
+        sq_module: str = "store_queue",
+    ):
+        self._counters = counters
+        self._lq_module = lq_module
+        self._sq_module = sq_module
+        self._last_store_upper: Optional[int] = None
+        self.broadcasts = 0
+        self.herded = 0
+
+    def load_broadcast(self, address: int) -> bool:
+        """Broadcast a load address into the store queue CAM.
+
+        Returns True when the broadcast was herded to the top die.
+        """
+        return self._broadcast(address, self._sq_module, update=False)
+
+    def store_broadcast(self, address: int) -> bool:
+        """Broadcast a store address into the load queue CAM.
+
+        Stores also update the memoized upper bits.
+        """
+        return self._broadcast(address, self._lq_module, update=True)
+
+    def _broadcast(self, address: int, module: str, update: bool) -> bool:
+        upper = upper_bits(address)
+        herded = upper == self._last_store_upper
+        self.broadcasts += 1
+        if herded:
+            self.herded += 1
+            self._counters.record(module, dies_active=1)
+        else:
+            self._counters.record(module, dies_active=NUM_DIES)
+        if update:
+            self._last_store_upper = upper
+        return herded
+
+    @property
+    def herded_fraction(self) -> float:
+        """Fraction of address broadcasts confined to the top die."""
+        return self.herded / self.broadcasts if self.broadcasts else 0.0

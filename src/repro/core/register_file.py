@@ -1,0 +1,90 @@
+"""Word-partitioned 3D register file with width memoization (Section 3.1).
+
+Each 64-bit entry is split into four 16-bit words, one per die, with the
+least-significant word plus a *width memoization bit* on the top die.  A
+predicted-low-width read activates only the top die; the memoization bit
+is compared against the prediction, and on an unsafe misprediction the
+processor (1) stalls the previous stage one cycle while enabling the
+lower three dies and (2) corrects the instruction's width prediction.
+
+Group-stall semantics: all instructions reading registers in the same
+cycle share at most ONE stall cycle regardless of how many of them
+mispredicted (Section 3.1) — the CPU model enforces this by asking the
+register file once per dispatch group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple
+
+from repro.core.activity import ActivityCounters, NUM_DIES
+from repro.isa.values import is_low_width
+
+
+@dataclass(frozen=True)
+class RegisterFileAccess:
+    """Outcome of one dispatch group's register file read."""
+
+    #: number of operand reads performed
+    reads: int
+    #: reads satisfied by the top die alone
+    top_only_reads: int
+    #: True when the group suffers its (single) unsafe-misprediction stall
+    stall: bool
+
+
+class PartitionedRegisterFile:
+    """Activity/timing model of the word-partitioned register file.
+
+    The model tracks memoization bits per architectural register (the
+    timing simulator operates pre-rename on trace values, so the
+    architectural namespace is the right granularity for memoization
+    behaviour) and charges per-die activity to ``counters``.
+    """
+
+    def __init__(self, counters: ActivityCounters, module: str = "register_file"):
+        self._counters = counters
+        self._module = module
+        self._memo_low: Dict[int, bool] = {}
+
+    def write(self, reg: int, value: int) -> None:
+        """Write a result: sets the memoization bit, charges die activity."""
+        low = is_low_width(value)
+        self._memo_low[reg] = low
+        self._counters.record(self._module, dies_active=1 if low else NUM_DIES)
+
+    def value_is_low(self, reg: int, value: int) -> bool:
+        """The memoization bit for ``reg`` (lazily derived from the value)."""
+        memo = self._memo_low.get(reg)
+        if memo is None:
+            memo = is_low_width(value)
+            self._memo_low[reg] = memo
+        return memo
+
+    def read_group(
+        self,
+        operands: Iterable[Tuple[int, int, bool]],
+    ) -> RegisterFileAccess:
+        """Read a dispatch group's operands.
+
+        ``operands`` yields ``(reg, value, predicted_low)`` triples.  A
+        read predicted low whose memoization bit says full width is an
+        unsafe misprediction; the whole group shares one stall.
+        """
+        reads = 0
+        top_only = 0
+        stall = False
+        for reg, value, predicted_low in operands:
+            reads += 1
+            actual_low = self.value_is_low(reg, value)
+            if predicted_low and actual_low:
+                top_only += 1
+                self._counters.record(self._module, dies_active=1)
+            elif predicted_low and not actual_low:
+                # Unsafe: top-die probe, then a full access after the stall.
+                stall = True
+                self._counters.record(self._module, dies_active=NUM_DIES)
+            else:
+                self._counters.record(self._module, dies_active=NUM_DIES)
+        return RegisterFileAccess(reads=reads, top_only_reads=top_only, stall=stall)

@@ -1,0 +1,115 @@
+"""Static (profile-based) width prediction — an ablation baseline.
+
+The paper's dynamic two-bit predictor descends from earlier work that
+also considered *static* width hints: profile a run, mark each static
+instruction low- or full-width by majority, and use that fixed hint at
+run time.  Static hints cannot adapt to phase behaviour but need no
+table.  A perfect oracle (always right) bounds what any predictor could
+achieve.
+
+Both classes expose the same interface as
+:class:`~repro.core.width_prediction.WidthPredictor` so the timing model
+can swap them in.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable
+
+from repro.core.width_prediction import WidthPredictorStats
+from repro.isa.instruction import TraceInstruction
+from repro.isa.opcodes import OpClass
+from repro.isa.values import is_low_width
+
+
+def actual_width_class(inst: TraceInstruction) -> bool:
+    """The width class the timing model trains on (True = low width).
+
+    Mirrors the per-op rules of the pipeline: loads/stores classify their
+    data value; ALU ops classify operands and result together.
+    """
+    if inst.op is OpClass.LOAD:
+        return is_low_width(inst.mem_value if inst.mem_value is not None else inst.result)
+    if inst.op is OpClass.STORE:
+        return is_low_width(inst.mem_value if inst.mem_value is not None else 0)
+    return inst.is_low_width
+
+
+def build_width_profile(instructions: Iterable[TraceInstruction]) -> Dict[int, bool]:
+    """Majority width class per static PC over a profiling run."""
+    low_counts: Dict[int, int] = defaultdict(int)
+    totals: Dict[int, int] = defaultdict(int)
+    for inst in instructions:
+        if not inst.op.is_integer_datapath:
+            continue
+        totals[inst.pc] += 1
+        if actual_width_class(inst):
+            low_counts[inst.pc] += 1
+    # Ties resolve to full width (the safe direction).
+    return {pc: low_counts[pc] * 2 > totals[pc] for pc in totals}
+
+
+class StaticWidthPredictor:
+    """Profile-driven static hints with the dynamic predictor's interface."""
+
+    def __init__(self, profile: Dict[int, bool]):
+        self._profile = profile
+        self.stats = WidthPredictorStats()
+        self._overrides: Dict[int, bool] = {}
+
+    def predict_low_width(self, pc: int) -> bool:
+        override = self._overrides.get(pc)
+        if override is not None:
+            return override
+        # Unprofiled instructions default to full width (safe).
+        return self._profile.get(pc, False)
+
+    def correct_prediction(self, pc: int) -> None:
+        """Static hints cannot really be corrected; model the hardware
+        override latch the paper's register file implies (per-PC sticky)."""
+        self._overrides[pc] = False
+
+    def record_and_train(self, pc: int, predicted_low: bool, actual_low: bool) -> None:
+        self.stats.predictions += 1
+        if predicted_low == actual_low:
+            self.stats.correct += 1
+        elif predicted_low:
+            self.stats.unsafe_mispredictions += 1
+        else:
+            self.stats.safe_mispredictions += 1
+
+    def observe(self, pc: int, actual_low: bool) -> bool:
+        predicted = self.predict_low_width(pc)
+        self.record_and_train(pc, predicted, actual_low)
+        return predicted and not actual_low
+
+
+class OracleWidthPredictor:
+    """Always-correct width prediction (the upper bound).
+
+    The timing model special-cases the oracle by passing the actual class
+    through :meth:`prime` just before prediction.
+    """
+
+    def __init__(self) -> None:
+        self.stats = WidthPredictorStats()
+        self._next_actual = False
+
+    def prime(self, actual_low: bool) -> None:
+        self._next_actual = actual_low
+
+    def predict_low_width(self, pc: int) -> bool:
+        return self._next_actual
+
+    def correct_prediction(self, pc: int) -> None:
+        """The oracle never needs correction."""
+
+    def record_and_train(self, pc: int, predicted_low: bool, actual_low: bool) -> None:
+        self.stats.predictions += 1
+        self.stats.correct += 1
+
+    def observe(self, pc: int, actual_low: bool) -> bool:
+        self.prime(actual_low)
+        self.record_and_train(pc, actual_low, actual_low)
+        return False

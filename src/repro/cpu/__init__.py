@@ -1,0 +1,48 @@
+"""Cycle-level out-of-order CPU timing model (the SimpleScalar/MASE substitute).
+
+The simulator replays committed-instruction traces through a scoreboard
+model of a Core 2-class out-of-order pipeline (Table 1 of the paper):
+4-wide fetch/decode/commit, 6-wide issue, 96-entry ROB, 32-entry RS,
+32/20-entry load/store queues, a 10KB hybrid branch predictor with
+2K-entry BTB, 32KB L1 caches, a 4MB L2, and TLBs.  Structural hazards,
+dependence stalls, branch mispredictions, cache/TLB misses, and all the
+Thermal Herding width-misprediction penalties are modelled per
+instruction; per-module switching activity is accumulated for the power
+and thermal models.
+"""
+
+from repro.cpu.config import (
+    CPUConfig,
+    ProcessorConfiguration,
+    baseline_config,
+    thermal_herding_config,
+    pipeline_config,
+    fast_config,
+    full_3d_config,
+    paper_configurations,
+)
+from repro.cpu.caches import SetAssociativeCache, TLB, MemoryHierarchy, CacheStats
+from repro.cpu.branch_predictor import HybridPredictor, FrontEndPredictor, BranchStats
+from repro.cpu.results import SimulationResult
+from repro.cpu.pipeline import TimingSimulator, simulate
+
+__all__ = [
+    "CPUConfig",
+    "ProcessorConfiguration",
+    "baseline_config",
+    "thermal_herding_config",
+    "pipeline_config",
+    "fast_config",
+    "full_3d_config",
+    "paper_configurations",
+    "SetAssociativeCache",
+    "TLB",
+    "MemoryHierarchy",
+    "CacheStats",
+    "HybridPredictor",
+    "FrontEndPredictor",
+    "BranchStats",
+    "SimulationResult",
+    "TimingSimulator",
+    "simulate",
+]

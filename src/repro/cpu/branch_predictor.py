@@ -1,0 +1,267 @@
+"""Hybrid branch direction predictor, BTB, and return-address stack.
+
+Table 1 specifies a 10KB bimodal/local/global hybrid.  We implement the
+three components plus a majority combiner (each component is trained on
+every branch): a bimodal table, a gshare global predictor, and a
+two-level local-history predictor.  The BTB and indirect BTB are
+set-associative target caches; returns use a return-address stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.activity import ActivityCounters, NUM_DIES
+from repro.core.btb_memoization import MemoizedBTB
+from repro.core.direction_split import SplitDirectionPredictorActivity
+from repro.cpu.caches import SetAssociativeCache
+from repro.isa.opcodes import OpClass
+
+
+class _CounterTable:
+    """A table of 2-bit saturating counters."""
+
+    def __init__(self, size: int):
+        if size < 1 or size & (size - 1):
+            raise ValueError(f"table size must be a power of two, got {size}")
+        self._mask = size - 1
+        self._table = [1] * size  # weakly not-taken
+
+    def predict(self, index: int) -> bool:
+        return self._table[index & self._mask] >= 2
+
+    def update(self, index: int, taken: bool) -> None:
+        index &= self._mask
+        count = self._table[index]
+        if taken and count < 3:
+            self._table[index] = count + 1
+        elif not taken and count > 0:
+            self._table[index] = count - 1
+
+
+@dataclass
+class BranchStats:
+    """Direction and target prediction outcome counters."""
+
+    conditional_branches: int = 0
+    direction_mispredicts: int = 0
+    btb_lookups: int = 0
+    btb_misses: int = 0
+    ras_returns: int = 0
+    ras_mispredicts: int = 0
+
+    @property
+    def direction_accuracy(self) -> float:
+        if not self.conditional_branches:
+            return 0.0
+        return 1.0 - self.direction_mispredicts / self.conditional_branches
+
+    @property
+    def btb_hit_rate(self) -> float:
+        if not self.btb_lookups:
+            return 0.0
+        return 1.0 - self.btb_misses / self.btb_lookups
+
+
+class HybridPredictor:
+    """Tournament bimodal/local/global hybrid direction predictor.
+
+    Two chooser tables select, per branch, first between the global
+    (gshare) and local two-level components, and then between that winner
+    and the bimodal component — so a branch is predicted by whichever
+    component has been right for it most recently.
+    """
+
+    def __init__(
+        self,
+        bimodal_entries: int = 4096,
+        global_entries: int = 4096,
+        local_histories: int = 1024,
+        local_entries: int = 1024,
+        history_bits: int = 12,
+        local_history_bits: int = 10,
+    ):
+        self._bimodal = _CounterTable(bimodal_entries)
+        self._gshare = _CounterTable(global_entries)
+        self._local = _CounterTable(local_entries)
+        self._choose_gl = _CounterTable(global_entries)   # >=2: pick global
+        self._choose_xb = _CounterTable(global_entries)   # >=2: pick winner over bimodal
+        self._local_history: List[int] = [0] * local_histories
+        self._local_hist_mask = local_histories - 1
+        self._local_bits_mask = (1 << local_history_bits) - 1
+        self._ghr = 0
+        self._ghr_mask = (1 << history_bits) - 1
+
+    def _indices(self, pc: int):
+        base = pc >> 2
+        bim = base
+        glob = base ^ self._ghr
+        lhist = self._local_history[base & self._local_hist_mask]
+        loc = lhist ^ (base & self._local_bits_mask)
+        return bim, glob, loc
+
+    def _components(self, pc: int):
+        bim, glob, loc = self._indices(pc)
+        return (
+            (bim, glob, loc),
+            self._bimodal.predict(bim),
+            self._gshare.predict(glob),
+            self._local.predict(loc),
+        )
+
+    def predict(self, pc: int) -> bool:
+        (bim, _glob, _loc), p_bim, p_glob, p_loc = self._components(pc)
+        winner_gl = p_glob if self._choose_gl.predict(bim) else p_loc
+        return winner_gl if self._choose_xb.predict(bim) else p_bim
+
+    def update(self, pc: int, taken: bool) -> None:
+        (bim, glob, loc), p_bim, p_glob, p_loc = self._components(pc)
+        winner_gl = p_glob if self._choose_gl.predict(bim) else p_loc
+        # Train choosers only on disagreement.
+        if p_glob != p_loc:
+            self._choose_gl.update(bim, p_glob == taken)
+        if winner_gl != p_bim:
+            self._choose_xb.update(bim, winner_gl == taken)
+        self._bimodal.update(bim, taken)
+        self._gshare.update(glob, taken)
+        self._local.update(loc, taken)
+        self._ghr = ((self._ghr << 1) | int(taken)) & self._ghr_mask
+        slot = (pc >> 2) & self._local_hist_mask
+        self._local_history[slot] = (
+            (self._local_history[slot] << 1) | int(taken)
+        ) & self._local_bits_mask
+
+
+@dataclass(frozen=True)
+class FrontEndOutcome:
+    """What the front end decides for one control instruction."""
+
+    predicted_taken: bool
+    target_known: bool
+    mispredicted: bool
+    extra_bubbles: int
+
+
+class FrontEndPredictor:
+    """The complete front-end control-flow machinery.
+
+    When ``thermal_herding`` is enabled, BTB hits go through the target
+    memoization model (far targets cost a one-cycle prediction stall) and
+    the direction arrays charge split direction/hysteresis activity.
+    """
+
+    def __init__(
+        self,
+        counters: ActivityCounters,
+        btb_entries: int = 2048,
+        btb_assoc: int = 4,
+        ibtb_entries: int = 512,
+        ibtb_assoc: int = 4,
+        ras_depth: int = 16,
+        thermal_herding: bool = False,
+    ):
+        self._counters = counters
+        self.direction = HybridPredictor()
+        self.btb = SetAssociativeCache("btb", btb_entries * 4, btb_assoc, 4)
+        self.ibtb = SetAssociativeCache("ibtb", ibtb_entries * 4, ibtb_assoc, 4)
+        self._ras: List[int] = []
+        self._ras_depth = ras_depth
+        self._thermal_herding = thermal_herding
+        self.memoized_btb = MemoizedBTB(counters) if thermal_herding else None
+        self.split_arrays = SplitDirectionPredictorActivity(counters) if thermal_herding else None
+        self.stats = BranchStats()
+
+    # ------------------------------------------------------------------ #
+
+    def _record_direction_activity(self, update: bool) -> None:
+        if self.split_arrays is not None:
+            if update:
+                self.split_arrays.record_update()
+            else:
+                self.split_arrays.record_prediction()
+        else:
+            self._counters.record("dir_predictor", dies_active=NUM_DIES)
+
+    def _btb_lookup(self, cache: SetAssociativeCache, module: str,
+                    pc: int, target: Optional[int]) -> FrontEndOutcome:
+        """Common BTB/iBTB hit-miss handling for a taken transfer."""
+        self.stats.btb_lookups += 1
+        hit = cache.access(pc)
+        bubbles = 0
+        if hit and self.memoized_btb is not None and target is not None:
+            lookup = self.memoized_btb.read_target(pc, target)
+            bubbles += lookup.stall_cycles
+        elif hit:
+            self._counters.record(module, dies_active=NUM_DIES)
+        else:
+            self.stats.btb_misses += 1
+            self._counters.record(module, dies_active=NUM_DIES)
+        return FrontEndOutcome(
+            predicted_taken=True,
+            target_known=hit,
+            mispredicted=False,
+            extra_bubbles=bubbles,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def process(self, op: OpClass, pc: int, taken: bool, target: Optional[int]) -> FrontEndOutcome:
+        """Predict one control instruction and train all structures.
+
+        The returned outcome tells the timing model whether the fetch
+        stream was redirected correctly (``mispredicted`` False) and how
+        many front-end bubble cycles to charge.
+        """
+        if op is OpClass.BRANCH:
+            return self._process_conditional(pc, taken, target)
+        if op is OpClass.RETURN:
+            return self._process_return(pc, target)
+        if op is OpClass.CALL:
+            self._ras.append(pc + 4)
+            if len(self._ras) > self._ras_depth:
+                self._ras.pop(0)
+            return self._btb_lookup(self.btb, "btb", pc, target)
+        # Unconditional direct jump.
+        return self._btb_lookup(self.btb, "btb", pc, target)
+
+    def _process_conditional(self, pc: int, taken: bool, target: Optional[int]) -> FrontEndOutcome:
+        self.stats.conditional_branches += 1
+        self._record_direction_activity(update=False)
+        predicted_taken = self.direction.predict(pc)
+        self.direction.update(pc, taken)
+        self._record_direction_activity(update=True)
+
+        mispredicted = predicted_taken != taken
+        if mispredicted:
+            self.stats.direction_mispredicts += 1
+            return FrontEndOutcome(
+                predicted_taken=predicted_taken,
+                target_known=False,
+                mispredicted=True,
+                extra_bubbles=0,
+            )
+        if not taken:
+            return FrontEndOutcome(
+                predicted_taken=False,
+                target_known=True,
+                mispredicted=False,
+                extra_bubbles=0,
+            )
+        return self._btb_lookup(self.btb, "btb", pc, target)
+
+    def _process_return(self, pc: int, target: Optional[int]) -> FrontEndOutcome:
+        self.stats.ras_returns += 1
+        predicted = self._ras.pop() if self._ras else None
+        if predicted is not None and predicted == target:
+            # RAS hit; the iBTB is still probed in parallel.
+            self._counters.record("ibtb", dies_active=NUM_DIES)
+            return FrontEndOutcome(
+                predicted_taken=True, target_known=True,
+                mispredicted=False, extra_bubbles=0,
+            )
+        self.stats.ras_mispredicts += 1
+        return FrontEndOutcome(
+            predicted_taken=True, target_known=False,
+            mispredicted=True, extra_bubbles=0,
+        )

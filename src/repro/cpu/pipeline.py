@@ -1,0 +1,630 @@
+"""Out-of-order scoreboard timing model.
+
+The simulator assigns each committed trace instruction a fetch, dispatch,
+issue, completion, and commit cycle, subject to:
+
+* fetch bandwidth, I-cache/ITLB misses, branch redirects, BTB bubbles;
+* dispatch bandwidth and ROB/RS/LQ/SQ/IFQ occupancy (modelled with
+  free-at heaps: an allocation waits for the earliest-freed entry);
+* register dependences through a ready-cycle scoreboard (bypass has no
+  extra latency, matching an aggressive bypass network);
+* functional-unit structural hazards and issue bandwidth;
+* memory latencies from the cache/TLB hierarchy;
+* with Thermal Herding enabled, all the width-misprediction penalties of
+  Section 3: register-read group stalls, ALU input stalls and output
+  re-executions, D-cache read stalls, and BTB memoization bubbles.
+
+Operand sourcing rule: an operand whose producer completes after this
+instruction dispatched arrives through the bypass network, so its width
+misprediction is caught by the ALU (one-cycle input stall); operands read
+from the register file are checked against the memoization bits at
+dispatch and charge the *group* at most one stall cycle (Section 3.1).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional
+
+from repro.core.activity import ActivityCounters, NUM_DIES
+from repro.core.alu import PartitionedALU
+from repro.core.bypass import BypassNetwork
+from repro.core.dcache_encoding import PartialValueCache
+from repro.core.lsq_pam import PartialAddressMemoization
+from repro.core.register_file import PartitionedRegisterFile
+from repro.core.scheduler_allocation import EntryStackedScheduler
+from repro.core.width_prediction import WidthPredictor
+from repro.cpu.branch_predictor import FrontEndPredictor
+from repro.cpu.caches import build_hierarchy
+from repro.cpu.config import CPUConfig
+from repro.cpu.results import SimulationResult, StallBreakdown
+from repro.isa.instruction import TraceInstruction
+from repro.isa.opcodes import OpClass, OP_LATENCY
+from repro.isa.trace import Trace
+from repro.isa.values import is_low_width
+
+
+class _Pool:
+    """A pool of identical functional units, tracked by next-free cycle."""
+
+    def __init__(self, units: int):
+        if units < 1:
+            raise ValueError(f"pool needs at least one unit, got {units}")
+        self._free = [0] * units
+
+    def acquire(self, earliest: int, busy: int = 1) -> int:
+        """Reserve the unit that frees soonest; returns the start cycle."""
+        index = min(range(len(self._free)), key=self._free.__getitem__)
+        start = max(earliest, self._free[index])
+        self._free[index] = start + busy
+        return start
+
+    def earliest_free(self) -> int:
+        return min(self._free)
+
+
+class TimingSimulator:
+    """Replays one trace under one configuration."""
+
+    def __init__(self, config: CPUConfig):
+        self.config = config.resolved()
+        self.counters = ActivityCounters()
+        self.hierarchy = build_hierarchy(self.counters, self.config)
+        self.frontend = FrontEndPredictor(
+            self.counters,
+            btb_entries=self.config.btb_entries,
+            btb_assoc=self.config.btb_assoc,
+            ibtb_entries=self.config.ibtb_entries,
+            ibtb_assoc=self.config.ibtb_assoc,
+            ras_depth=self.config.ras_depth,
+            thermal_herding=self.config.thermal_herding,
+        )
+        th = self.config.thermal_herding
+        self.width_predictor = self._make_width_predictor() if th else None
+        self.register_file = PartitionedRegisterFile(self.counters) if th else None
+        self.alu = PartitionedALU(self.counters) if th else None
+        self.bypass = BypassNetwork(self.counters) if th else None
+        self.scheduler = (
+            EntryStackedScheduler(self.counters, entries=self.config.rs_size,
+                                  policy=self.config.scheduler_policy)
+            if th else None
+        )
+        self.pam = PartialAddressMemoization(self.counters) if th else None
+        self.dcache_model = (
+            PartialValueCache(self.counters, scheme=self.config.dcache_encoding)
+            if th else None
+        )
+        self.stalls = StallBreakdown()
+
+    def _make_width_predictor(self):
+        """Instantiate the configured width predictor variant."""
+        from repro.core.static_width import OracleWidthPredictor, StaticWidthPredictor
+        from repro.cpu.config import WidthPredictorKind
+
+        kind = self.config.width_predictor_kind
+        if kind is WidthPredictorKind.ORACLE:
+            return OracleWidthPredictor()
+        if kind is WidthPredictorKind.STATIC:
+            # The profile is filled in at the start of run() (it needs the
+            # trace); start with an empty, all-full-width profile.
+            return StaticWidthPredictor({})
+        return WidthPredictor(
+            self.config.width_predictor_entries, self.config.width_counter_bits
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _reset_measurement(self) -> None:
+        """Reset all measured statistics at the warmup boundary.
+
+        Microarchitectural *state* (caches, predictor tables, memoization
+        bits) is deliberately preserved — that is the point of warmup.
+        """
+        from repro.core.width_prediction import WidthPredictorStats
+        from repro.cpu.branch_predictor import BranchStats
+        from repro.cpu.caches import CacheStats
+
+        self.counters.clear()
+        self.stalls = StallBreakdown()
+        self.frontend.stats = BranchStats()
+        for cache in (self.hierarchy.l1i, self.hierarchy.l1d, self.hierarchy.l2,
+                      self.hierarchy.itlb, self.hierarchy.dtlb):
+            cache.stats = CacheStats()
+        if self.width_predictor is not None:
+            self.width_predictor.stats = WidthPredictorStats()
+        if self.pam is not None:
+            self.pam.broadcasts = 0
+            self.pam.herded = 0
+        if self.dcache_model is not None:
+            self.dcache_model.loads = 0
+            self.dcache_model.herded_loads = 0
+            self.dcache_model.unsafe_stalls = 0
+        if self.scheduler is not None:
+            self.scheduler.broadcasts = 0
+            self.scheduler.broadcast_die_sum = 0
+        if self.frontend.memoized_btb is not None:
+            self.frontend.memoized_btb.lookups = 0
+            self.frontend.memoized_btb.far_target_stalls = 0
+        if self.frontend.split_arrays is not None:
+            self.frontend.split_arrays.predictions = 0
+            self.frontend.split_arrays.updates = 0
+        if self.alu is not None:
+            self.alu.input_stalls = 0
+            self.alu.reexecutions = 0
+
+    def _prewarm(self, trace: Trace) -> None:
+        """Install reused lines into the L2 before timing starts.
+
+        A finite trace window cannot warm a 4 MB L2 the way minutes of
+        real execution do, so steady-state residency is approximated from
+        reuse: any line the trace touches at least twice would have been
+        resident in a long-running simulation (the workloads are
+        stationary), while single-touch lines (streaming or pointer-chase
+        traffic over large footprints) would miss in steady state too.
+        """
+        line = self.hierarchy.l2.line_bytes
+        region_shift = 16  # 64 KB regions
+        access_counts: Dict[int, int] = {}
+        region_accesses: Dict[int, int] = {}
+        for inst in trace:
+            for addr in (inst.pc, inst.mem_addr):
+                if addr is None:
+                    continue
+                tag = addr // line
+                access_counts[tag] = access_counts.get(tag, 0) + 1
+                region = addr >> region_shift
+                region_accesses[region] = region_accesses.get(region, 0) + 1
+        # Region-level statistics distinguish three stationary behaviours:
+        # * hot regions (access/line ratio >= 2, e.g. stacks and hot sets)
+        #   are fully resident;
+        # * revisited pools (a meaningful fraction of a region's lines are
+        #   reused even if most are touched once in this short window,
+        #   e.g. a bounded pointer-chase structure) are resident too;
+        # * single-pass streams and vast sparse footprints (no reuse at
+        #   all) keep missing, exactly as they would in steady state.
+        region_lines: Dict[int, int] = {}
+        region_reused: Dict[int, int] = {}
+        for tag, count in access_counts.items():
+            region = (tag * line) >> region_shift
+            region_lines[region] = region_lines.get(region, 0) + 1
+            if count >= 2:
+                region_reused[region] = region_reused.get(region, 0) + 1
+        for tag, count in access_counts.items():
+            region = (tag * line) >> region_shift
+            lines_here = region_lines[region]
+            ratio = region_accesses[region] / lines_here
+            reuse_fraction = region_reused.get(region, 0) / lines_here
+            if count >= 2 or ratio >= 2.0 or reuse_fraction >= 0.025:
+                self.hierarchy.l2.install(tag * line)
+
+    def run(self, trace: Trace, warmup: int = 0, prewarm: bool = True) -> SimulationResult:
+        """Simulate ``trace``; the first ``warmup`` instructions warm the
+        caches and predictors but are excluded from all reported metrics."""
+        cfg = self.config
+        counters = self.counters
+        if warmup >= len(trace):
+            raise ValueError(
+                f"warmup ({warmup}) must be smaller than the trace ({len(trace)})"
+            )
+        if prewarm:
+            self._prewarm(trace)
+        if cfg.thermal_herding:
+            from repro.core.static_width import StaticWidthPredictor, build_width_profile
+            if isinstance(self.width_predictor, StaticWidthPredictor):
+                # Profile-based static hints: profile the whole trace first.
+                self.width_predictor = StaticWidthPredictor(build_width_profile(trace))
+
+        # Fetch state
+        next_fetch_floor = 0
+        fetch_cycle = 0
+        fetched_in_cycle = 0
+        current_line = -1
+        redirect_pending = False
+
+        # Dispatch state
+        dispatch_floor = 0
+        last_dispatch_cycle = -1
+        dispatched_in_cycle = 0
+
+        # Resource free-at heaps
+        rob_heap: List[int] = []
+        rs_heap: List[int] = []
+        lq_heap: List[int] = []
+        sq_heap: List[int] = []
+        ifq_ring: List[int] = []  # dispatch cycles of the last ifq_size insts
+
+        # Issue state
+        issued_in_cycle: Dict[int, int] = {}
+        pools = {
+            "int_alu": _Pool(cfg.int_alu_units),
+            "int_shift": _Pool(cfg.int_shift_units),
+            "int_mul": _Pool(cfg.int_mul_units),
+            "fp_add": _Pool(cfg.fp_add_units),
+            "fp_mul": _Pool(cfg.fp_mul_units),
+            "fp_div": _Pool(cfg.fp_div_units),
+            "ld_st": _Pool(cfg.load_store_ports),
+            "ld_only": _Pool(cfg.load_only_ports),
+        }
+        # Miss-status holding registers bound memory-level parallelism:
+        # at most mshr_entries DRAM misses may be in flight at once.
+        mshr = _Pool(cfg.mshr_entries)
+
+        # Register scoreboard: cycle each architectural register is ready.
+        reg_ready: Dict[int, int] = {}
+
+        # Commit state
+        last_commit_cycle = 0
+        committed_in_cycle = 0
+
+        th = cfg.thermal_herding
+        cycle_base = 0
+
+        # Approximate CPI stack: commit-to-commit gaps attributed to each
+        # instruction's dominant timing constraint.
+        cpi_stack: Dict[str, int] = {}
+        prev_commit_for_stack = 0
+
+        for index, inst in enumerate(trace):
+            if index == warmup and warmup:
+                self._reset_measurement()
+                cycle_base = last_commit_cycle
+                cpi_stack = {}
+                prev_commit_for_stack = last_commit_cycle
+            op = inst.op
+            stalls_before = self.stalls.total
+
+            # ---------------- FETCH ---------------- #
+            line = inst.pc >> 6
+            new_line = line != current_line or redirect_pending
+            if fetched_in_cycle >= cfg.fetch_width or new_line:
+                fetch_cycle += 1
+                fetched_in_cycle = 0
+            fetch_cycle = max(fetch_cycle, next_fetch_floor)
+            # IFQ back-pressure: fetch may only run ifq_size ahead of dispatch.
+            if len(ifq_ring) >= cfg.ifq_size:
+                fetch_cycle = max(fetch_cycle, ifq_ring[-cfg.ifq_size])
+            frontend_miss = False
+            if new_line:
+                access = self.hierarchy.instruction_fetch(inst.pc)
+                if access.cycles > self.hierarchy.l1_latency:
+                    # Miss: bubble until the line arrives.
+                    fetch_cycle += access.cycles - self.hierarchy.l1_latency
+                    frontend_miss = True
+                current_line = line
+                redirect_pending = False
+            fetched_in_cycle += 1
+            next_fetch_floor = max(next_fetch_floor, fetch_cycle)
+
+            # Front-end control flow.
+            frontend_bubbles = 0
+            mispredicted = False
+            if op.is_control:
+                outcome = self.frontend.process(op, inst.pc, inst.taken, inst.target)
+                mispredicted = outcome.mispredicted or (inst.taken and not outcome.target_known)
+                frontend_bubbles = outcome.extra_bubbles
+                if inst.taken and not mispredicted and op is not OpClass.RETURN \
+                        and not outcome.target_known:
+                    frontend_bubbles += cfg.btb_miss_bubble
+                if inst.taken:
+                    redirect_pending = True
+                if frontend_bubbles:
+                    next_fetch_floor = max(next_fetch_floor, fetch_cycle + frontend_bubbles)
+                    if self.frontend.memoized_btb is not None:
+                        self.stalls.btb_memoization_stalls += outcome.extra_bubbles
+
+            # ---------------- DECODE / WIDTH PREDICT ---------------- #
+            counters.record("rename", dies_active=NUM_DIES)
+            counters.record("fetch_queue", dies_active=NUM_DIES)
+            predicted_low = False
+            actual_low = False
+            operands_low = inst.operands_are_low_width
+            result_low = is_low_width(inst.result) if inst.writes_register else True
+            if th and op.is_integer_datapath:
+                # A load/store's prediction concerns its *data* value (the
+                # address path is covered by PAM, Section 3.5/3.6); an ALU
+                # op's prediction covers its operands and result.
+                if op is OpClass.LOAD:
+                    actual_low = is_low_width(
+                        inst.mem_value if inst.mem_value is not None else inst.result
+                    )
+                elif op is OpClass.STORE:
+                    actual_low = is_low_width(
+                        inst.mem_value if inst.mem_value is not None else 0
+                    )
+                else:
+                    actual_low = inst.is_low_width
+                prime = getattr(self.width_predictor, "prime", None)
+                if prime is not None:  # oracle variant
+                    prime(actual_low)
+                predicted_low = self.width_predictor.predict_low_width(inst.pc)
+
+            # ---------------- DISPATCH ---------------- #
+            dispatch_cycle = max(fetch_cycle + cfg.front_depth, dispatch_floor)
+            if dispatch_cycle == last_dispatch_cycle and dispatched_in_cycle >= cfg.decode_width:
+                dispatch_cycle += 1
+            if rob_heap and len(rob_heap) >= cfg.rob_size:
+                dispatch_cycle = max(dispatch_cycle, heapq.heappop(rob_heap))
+            if rs_heap and len(rs_heap) >= cfg.rs_size:
+                dispatch_cycle = max(dispatch_cycle, heapq.heappop(rs_heap))
+            if op is OpClass.LOAD and len(lq_heap) >= cfg.lq_size:
+                dispatch_cycle = max(dispatch_cycle, heapq.heappop(lq_heap))
+            if op is OpClass.STORE and len(sq_heap) >= cfg.sq_size:
+                dispatch_cycle = max(dispatch_cycle, heapq.heappop(sq_heap))
+
+            # Register file read; decide which operands come via bypass.
+            ready = 0
+            bypass_sourced = False
+            for src in inst.srcs:
+                src_ready = reg_ready.get(src, 0)
+                if src_ready > ready:
+                    ready = src_ready
+                if src_ready > dispatch_cycle:
+                    bypass_sourced = True
+
+            if th and op.is_integer_datapath and inst.srcs:
+                if op.is_memory:
+                    # Memory ops read full-width address operands; the data
+                    # operand of a store follows its memoization bit.  The
+                    # width prediction covers the *data* path only, so no
+                    # register-read misprediction is possible here.
+                    reads = [
+                        (src, value, self.register_file.value_is_low(src, value))
+                        for src, value in zip(inst.srcs, inst.src_values)
+                    ]
+                    self.register_file.read_group(reads)
+                    effective_low = predicted_low
+                elif not bypass_sourced:
+                    reads = [
+                        (src, value, predicted_low)
+                        for src, value in zip(inst.srcs, inst.src_values)
+                    ]
+                    access = self.register_file.read_group(reads)
+                    if access.stall:
+                        # One stall for the whole dispatch group.
+                        self.stalls.rf_group_stalls += 1
+                        self.width_predictor.correct_prediction(inst.pc)
+                        dispatch_cycle += 1
+                        effective_low = False
+                    else:
+                        effective_low = predicted_low
+                else:
+                    effective_low = predicted_low
+            else:
+                if inst.srcs and not bypass_sourced:
+                    counters.record("register_file", dies_active=NUM_DIES)
+                effective_low = predicted_low
+
+            if dispatch_cycle != last_dispatch_cycle:
+                dispatched_in_cycle = 0
+                last_dispatch_cycle = dispatch_cycle
+            dispatched_in_cycle += 1
+            dispatch_floor = dispatch_cycle
+            ifq_ring.append(dispatch_cycle)
+            if len(ifq_ring) > cfg.ifq_size * 2:
+                del ifq_ring[: cfg.ifq_size]
+
+            # Scheduler entry allocation: chronological occupancy is the
+            # number of already-dispatched instructions still waiting to
+            # issue at this instruction's dispatch cycle.
+            if th:
+                occupancy = 1 + sum(1 for c in rs_heap if c > dispatch_cycle)
+                self.scheduler.die_for_occupancy(occupancy)
+
+            # ---------------- ISSUE ---------------- #
+            earliest = max(dispatch_cycle + 1, ready)
+
+            alu_stall = 0
+            reexecute = False
+            if th and op.is_integer_datapath and not op.is_memory:
+                execution = self.alu.execute(
+                    predicted_low=effective_low,
+                    operands_low=operands_low,
+                    result_low=result_low,
+                )
+                alu_stall = execution.input_stall_cycles if bypass_sourced else 0
+                reexecute = execution.reexecute
+                if alu_stall:
+                    self.stalls.alu_input_stalls += alu_stall
+                if reexecute:
+                    self.stalls.alu_reexecutions += 1
+            elif op.is_memory:
+                # Address generation is a dedicated full-width AGU.
+                counters.record("alu", dies_active=NUM_DIES)
+            elif op.is_integer_datapath:
+                counters.record("alu", dies_active=NUM_DIES)
+            elif op.is_fp:
+                counters.record("fpu", dies_active=NUM_DIES)
+
+            earliest += alu_stall
+            pool = self._pool_for(op, pools)
+            busy = OP_LATENCY[op] if op is OpClass.FDIV else 1
+            issue_cycle = pool.acquire(earliest, busy=busy)
+            while issued_in_cycle.get(issue_cycle, 0) >= cfg.issue_width:
+                issue_cycle += 1
+            issued_in_cycle[issue_cycle] = issued_in_cycle.get(issue_cycle, 0) + 1
+
+
+            # ---------------- EXECUTE / COMPLETE ---------------- #
+            latency = OP_LATENCY[op]
+            memory_miss = False
+            if op is OpClass.LOAD:
+                assert inst.mem_addr is not None
+                access = self.hierarchy.load(inst.mem_addr)
+                memory_miss = access.level != "l1" or access.tlb_miss
+                if access.level == "dram":
+                    # Wait for a free MSHR before the miss can go out.
+                    miss_start = mshr.acquire(issue_cycle + 1, busy=access.cycles)
+                    latency += miss_start - (issue_cycle + 1)
+                latency += access.cycles
+                if th:
+                    self.pam.load_broadcast(inst.mem_addr)
+                    outcome = self.dcache_model.record_load(
+                        inst.mem_addr,
+                        inst.mem_value if inst.mem_value is not None else 0,
+                        predicted_low=effective_low,
+                    )
+                    if outcome.stall_cycles:
+                        self.stalls.dcache_width_stalls += outcome.stall_cycles
+                        latency += outcome.stall_cycles
+                    if access.level != "l1":
+                        self.dcache_model.record_fill()
+                else:
+                    counters.record("l1_dcache", dies_active=NUM_DIES)
+                    counters.record("load_queue", dies_active=NUM_DIES)
+                    counters.record("store_queue", dies_active=NUM_DIES)
+            elif op is OpClass.STORE and th:
+                self.pam.store_broadcast(inst.mem_addr)
+            elif op is OpClass.STORE:
+                counters.record("load_queue", dies_active=NUM_DIES)
+                counters.record("store_queue", dies_active=NUM_DIES)
+
+            if reexecute:
+                latency += OP_LATENCY[op]
+            complete_cycle = issue_cycle + latency
+
+            # Result broadcast: bypass + scheduler wakeup + RF/ROB write.
+            if inst.writes_register:
+                reg_ready[inst.dst] = complete_cycle
+                if th:
+                    self.bypass.broadcast(result_low if op.is_integer_datapath else False)
+                    wakeup_occupancy = sum(1 for c in rs_heap if c > complete_cycle)
+                    self.scheduler.broadcast_with_occupancy(wakeup_occupancy)
+                    self.register_file.write(inst.dst, inst.result)
+                    self.counters.record(
+                        "rob", dies_active=1 if (op.is_integer_datapath and result_low) else NUM_DIES
+                    )
+                else:
+                    counters.record("bypass", dies_active=NUM_DIES)
+                    counters.record("scheduler", dies_active=NUM_DIES)
+                    counters.record("register_file", dies_active=NUM_DIES)
+                    counters.record("rob", dies_active=NUM_DIES)
+
+            # Train the width predictor on the architectural outcome.
+            if th and op.is_integer_datapath:
+                self.width_predictor.record_and_train(inst.pc, predicted_low, actual_low)
+
+            # Branch resolution.
+            if op.is_control and mispredicted:
+                next_fetch_floor = max(
+                    next_fetch_floor, complete_cycle + cfg.redirect_penalty
+                )
+                redirect_pending = True
+
+            # ---------------- COMMIT ---------------- #
+            commit_cycle = max(complete_cycle + 1, last_commit_cycle)
+            if commit_cycle == last_commit_cycle and committed_in_cycle >= cfg.commit_width:
+                commit_cycle += 1
+            if commit_cycle != last_commit_cycle:
+                committed_in_cycle = 0
+                last_commit_cycle = commit_cycle
+            committed_in_cycle += 1
+
+            # CPI-stack attribution for this instruction's commit gap.
+            stall_total_now = self.stalls.total
+            if th and stall_total_now != stalls_before:
+                category = "width"
+            elif op.is_control and mispredicted:
+                category = "branch"
+            elif memory_miss:
+                category = "memory"
+            elif frontend_miss:
+                category = "frontend"
+            elif ready > dispatch_cycle + 1:
+                category = "dependency"
+            elif issue_cycle > earliest:
+                category = "structural"
+            else:
+                category = "base"
+            gap = commit_cycle - prev_commit_for_stack
+            if gap > 0:
+                cpi_stack[category] = cpi_stack.get(category, 0) + gap
+            prev_commit_for_stack = commit_cycle
+
+            if op is OpClass.STORE:
+                assert inst.mem_addr is not None
+                self.hierarchy.store(inst.mem_addr)
+                if th:
+                    self.dcache_model.record_store(
+                        inst.mem_addr,
+                        inst.mem_value if inst.mem_value is not None else 0,
+                    )
+                else:
+                    counters.record("l1_dcache", dies_active=NUM_DIES)
+
+            heapq.heappush(rob_heap, commit_cycle)
+            heapq.heappush(rs_heap, issue_cycle + 1)
+            if op is OpClass.LOAD:
+                heapq.heappush(lq_heap, commit_cycle)
+            elif op is OpClass.STORE:
+                heapq.heappush(sq_heap, commit_cycle)
+
+        total_cycles = (last_commit_cycle - cycle_base) if trace.instructions else 0
+        herding = self._herding_metrics()
+        return SimulationResult(
+            benchmark=trace.name,
+            benchmark_class=trace.benchmark_class,
+            config_name=cfg.name,
+            clock_ghz=cfg.clock_ghz,
+            instructions=len(trace) - warmup,
+            cycles=max(total_cycles, 1),
+            activity=counters,
+            branch_stats=self.frontend.stats,
+            cache_stats={
+                "l1i": self.hierarchy.l1i.stats,
+                "l1d": self.hierarchy.l1d.stats,
+                "l2": self.hierarchy.l2.stats,
+                "itlb": self.hierarchy.itlb.stats,
+                "dtlb": self.hierarchy.dtlb.stats,
+            },
+            width_stats=self.width_predictor.stats if th else None,
+            stalls=self.stalls,
+            herding=herding,
+            cpi_stack=cpi_stack,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _pool_for(op: OpClass, pools: Dict[str, _Pool]) -> _Pool:
+        if op is OpClass.LOAD:
+            # A load may use either memory port; pick the one free sooner.
+            a, b = pools["ld_st"], pools["ld_only"]
+            return a if a.earliest_free() <= b.earliest_free() else b
+        if op is OpClass.STORE:
+            return pools["ld_st"]
+        if op is OpClass.ISHIFT:
+            return pools["int_shift"]
+        if op is OpClass.IMUL:
+            return pools["int_mul"]
+        if op is OpClass.FADD:
+            return pools["fp_add"]
+        if op is OpClass.FMUL:
+            return pools["fp_mul"]
+        if op is OpClass.FDIV:
+            return pools["fp_div"]
+        return pools["int_alu"]
+
+    def _herding_metrics(self) -> Dict[str, float]:
+        metrics: Dict[str, float] = {}
+        if self.pam is not None:
+            metrics["pam_herded"] = self.pam.herded_fraction
+        if self.dcache_model is not None:
+            metrics["dcache_herded_loads"] = self.dcache_model.herded_load_fraction
+        if self.scheduler is not None:
+            metrics["scheduler_dies_per_broadcast"] = self.scheduler.mean_dies_per_broadcast
+        if self.frontend.memoized_btb is not None:
+            metrics["btb_herded"] = self.frontend.memoized_btb.herded_fraction
+        for name, module in self.counters.modules().items():
+            if module.total:
+                metrics[f"herded::{name}"] = module.herded_fraction
+        return metrics
+
+
+def simulate(trace: Trace, config: CPUConfig, warmup: int = 0) -> SimulationResult:
+    """Convenience wrapper: run ``trace`` under ``config``.
+
+    ``warmup`` instructions at the head of the trace warm caches and
+    predictors without contributing to the reported metrics (the trace
+    analogue of SimPoint's warmed simulation points).
+    """
+    return TimingSimulator(config).run(trace, warmup=warmup)

@@ -1,0 +1,166 @@
+"""Shared experiment state: cached traces, runs, and calibrated models.
+
+The paper's evaluation reuses the same simulation runs across figures
+(e.g. mpeg2's Base run both anchors the 90 W power calibration and feeds
+Figure 8); the context memoizes everything so the benchmark harness does
+each piece of work once per process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.cpu.config import CPUConfig, paper_configurations
+from repro.cpu.pipeline import simulate
+from repro.cpu.results import SimulationResult
+from repro.floorplan import Floorplan, planar_floorplan, stacked_floorplan
+from repro.isa.trace import Trace
+from repro.power.model import (
+    PowerBreakdown,
+    PowerModel,
+    StackKind,
+    calibrate_activity_scale,
+)
+from repro.thermal.power_map import build_power_map, rasterize
+from repro.thermal.solver import ThermalResult, ThermalSolver
+from repro.thermal.stack import planar_stack, stacked_3d_stack
+from repro.workloads.suite import benchmark_names, generate
+
+#: The power/thermal reference application (the paper's peak-power app).
+REFERENCE_BENCHMARK = "mpeg2"
+#: Number of cores on the chip (Table 1 context / Figure 9).
+CORE_COUNT = 2
+
+#: Configuration labels -> whether they are evaluated as a 3D stack.
+CONFIG_STACKS: Dict[str, StackKind] = {
+    "Base": StackKind.PLANAR_2D,
+    "TH": StackKind.PLANAR_2D,
+    "Pipe": StackKind.PLANAR_2D,
+    "Fast": StackKind.PLANAR_2D,
+    "3D": StackKind.STACKED_3D,
+    "3D-noTH": StackKind.STACKED_3D,
+}
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Knobs trading fidelity for runtime."""
+
+    trace_length: int = 20_000
+    warmup: int = 6_000
+    #: None = the full 24-benchmark suite
+    benchmarks: Optional[Tuple[str, ...]] = None
+    #: thermal grid resolution (over the spreader footprint)
+    thermal_grid: int = 64
+
+    def benchmark_list(self) -> List[str]:
+        if self.benchmarks is not None:
+            return list(self.benchmarks)
+        return benchmark_names()
+
+
+def _all_configurations() -> Dict[str, CPUConfig]:
+    """The five paper configurations plus the 3D-without-herding variant."""
+    configs = {label: pc.config for label, pc in paper_configurations().items()}
+    configs["3D-noTH"] = replace(configs["3D"], thermal_herding=False, name="3d-noth")
+    return configs
+
+
+class ExperimentContext:
+    """Memoizing facade over the whole simulation pipeline."""
+
+    def __init__(self, settings: Optional[ExperimentSettings] = None):
+        self.settings = settings or ExperimentSettings()
+        self.configs = _all_configurations()
+        self._traces: Dict[str, Trace] = {}
+        self._runs: Dict[Tuple[str, str], SimulationResult] = {}
+        self._power_model: Optional[PowerModel] = None
+        self._floorplans: Dict[StackKind, Floorplan] = {}
+        self._solvers: Dict[StackKind, ThermalSolver] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def trace(self, benchmark: str) -> Trace:
+        trace = self._traces.get(benchmark)
+        if trace is None:
+            trace = generate(benchmark, length=self.settings.trace_length)
+            self._traces[benchmark] = trace
+        return trace
+
+    def run(self, benchmark: str, config_label: str) -> SimulationResult:
+        """The (cached) simulation of one benchmark under one configuration."""
+        key = (benchmark, config_label)
+        result = self._runs.get(key)
+        if result is None:
+            config = self.configs.get(config_label)
+            if config is None:
+                raise KeyError(
+                    f"unknown configuration {config_label!r}; "
+                    f"known: {', '.join(self.configs)}"
+                )
+            result = simulate(self.trace(benchmark), config, warmup=self.settings.warmup)
+            self._runs[key] = result
+        return result
+
+    # ------------------------------------------------------------------ #
+
+    def power_model(self) -> PowerModel:
+        """The power model calibrated on the reference baseline run."""
+        if self._power_model is None:
+            reference = self.run(REFERENCE_BENCHMARK, "Base")
+            scale = calibrate_activity_scale(reference)
+            self._power_model = PowerModel(activity_scale=scale)
+        return self._power_model
+
+    def power(self, benchmark: str, config_label: str) -> PowerBreakdown:
+        """Per-core power of one benchmark under one configuration."""
+        stack = CONFIG_STACKS[config_label]
+        return self.power_model().evaluate(self.run(benchmark, config_label), stack)
+
+    def chip_power_watts(self, benchmark: str, config_label: str) -> float:
+        """Total chip power with the benchmark replicated on every core."""
+        return CORE_COUNT * self.power(benchmark, config_label).total_watts
+
+    # ------------------------------------------------------------------ #
+
+    def floorplan(self, stack: StackKind) -> Floorplan:
+        plan = self._floorplans.get(stack)
+        if plan is None:
+            plan = (
+                planar_floorplan(CORE_COUNT)
+                if stack is StackKind.PLANAR_2D
+                else stacked_floorplan(CORE_COUNT)
+            )
+            self._floorplans[stack] = plan
+        return plan
+
+    def solver(self, stack: StackKind) -> ThermalSolver:
+        solver = self._solvers.get(stack)
+        if solver is None:
+            grid = self.settings.thermal_grid
+            thermal_stack = planar_stack() if stack is StackKind.PLANAR_2D else stacked_3d_stack()
+            solver = ThermalSolver(thermal_stack, self.floorplan(stack), grid, grid)
+            self._solvers[stack] = solver
+        return solver
+
+    def thermal(self, benchmark: str, config_label: str) -> ThermalResult:
+        """Thermal map with the benchmark replicated on every core."""
+        stack = CONFIG_STACKS[config_label]
+        breakdown = self.power(benchmark, config_label)
+        return self.thermal_for_breakdowns([breakdown] * CORE_COUNT, stack)
+
+    def thermal_for_breakdowns(
+        self,
+        breakdowns: List[PowerBreakdown],
+        stack: StackKind,
+        power_scale: float = 1.0,
+    ) -> ThermalResult:
+        """Thermal map for explicit per-core breakdowns (scaled if asked)."""
+        plan = self.floorplan(stack)
+        solver = self.solver(stack)
+        watts = build_power_map(plan, breakdowns)
+        if power_scale != 1.0:
+            watts = {key: value * power_scale for key, value in watts.items()}
+        ny, nx = solver.chip_grid_shape()
+        return solver.solve(rasterize(plan, watts, nx, ny))

@@ -1,0 +1,104 @@
+"""Machine-readable exports of experiment results.
+
+Downstream analysis (plotting, regression dashboards) wants the numbers,
+not the formatted tables: these helpers flatten each experiment result
+into rows and write JSON or CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Dict, List
+
+from repro.experiments.figure8 import Figure8Result
+from repro.experiments.figure9 import Figure9Result
+from repro.experiments.figure10 import Figure10Result
+from repro.experiments.table2 import Table2Result
+
+
+def table2_rows(result: Table2Result) -> List[Dict[str, Any]]:
+    """One row per block: latencies, energies, improvement."""
+    rows = []
+    for name, model in sorted(result.blocks.items()):
+        timing = model.timing
+        rows.append({
+            "block": name,
+            "latency_2d_ps": round(timing.latency_2d_ps, 2),
+            "latency_3d_ps": round(timing.latency_3d_ps, 2),
+            "improvement": round(timing.improvement, 4),
+            "energy_2d_pj": round(timing.energy_2d_pj, 3),
+            "energy_3d_pj": round(timing.energy_3d_pj, 3),
+            "energy_3d_top_pj": round(timing.energy_3d_top_pj, 3),
+            "mode": timing.mode.value,
+        })
+    return rows
+
+
+def figure8_rows(result: Figure8Result) -> List[Dict[str, Any]]:
+    """One row per benchmark: IPC per config plus the 3D speedup."""
+    rows = []
+    for benchmark, per_config in sorted(result.ipc.items()):
+        row: Dict[str, Any] = {"benchmark": benchmark}
+        for config, ipc in per_config.items():
+            row[f"ipc_{config.lower()}"] = round(ipc, 4)
+        row["speedup_3d"] = round(result.speedup[benchmark], 4)
+        rows.append(row)
+    return rows
+
+
+def figure9_rows(result: Figure9Result) -> List[Dict[str, Any]]:
+    """One row per benchmark: chip power planar vs 3D TH."""
+    rows = []
+    for benchmark, (w2d, w3d, saving) in sorted(result.per_benchmark.items()):
+        rows.append({
+            "benchmark": benchmark,
+            "planar_watts": round(w2d, 3),
+            "herding_watts": round(w3d, 3),
+            "saving": round(saving, 4),
+        })
+    return rows
+
+
+def figure10_rows(result: Figure10Result) -> List[Dict[str, Any]]:
+    """One row per configuration: worst app and peak temperature."""
+    rows = []
+    for label, (benchmark, thermal) in result.worst_case.items():
+        name, die, temp = thermal.hottest_block()
+        rows.append({
+            "config": label,
+            "worst_benchmark": benchmark,
+            "peak_k": round(thermal.peak_temperature, 2),
+            "hottest_block": name,
+            "hottest_die": die,
+        })
+    return rows
+
+
+def to_json(rows: List[Dict[str, Any]], indent: int = 2) -> str:
+    """Serialize rows as a JSON array."""
+    return json.dumps(rows, indent=indent)
+
+
+def to_csv(rows: List[Dict[str, Any]]) -> str:
+    """Serialize rows as CSV (header from the first row's keys)."""
+    if not rows:
+        return ""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(rows[0].keys()))
+    writer.writeheader()
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def write_rows(rows: List[Dict[str, Any]], path: str) -> None:
+    """Write rows to ``path``; the extension picks the format."""
+    if path.endswith(".json"):
+        payload = to_json(rows)
+    elif path.endswith(".csv"):
+        payload = to_csv(rows)
+    else:
+        raise ValueError(f"unsupported export extension: {path!r} (.json/.csv)")
+    with open(path, "w", encoding="utf-8") as stream:
+        stream.write(payload)

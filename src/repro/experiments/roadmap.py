@@ -1,0 +1,96 @@
+"""The 3D adoption roadmap of Figure 2 / Section 2.2.
+
+The paper sketches the likely evolution of 3D processors:
+
+* (a) today's planar design;
+* (b) planar cores with a 3D-stacked L2 (density play: shorter wires to
+  the cache, same cores) — the "3D CMP" class of prior work;
+* (c) more stacked cache layers (bigger, still-close L2);
+* (d) full 3D cores with Thermal Herding — this paper.
+
+Only (d) touches the cores, so only (d) changes the clock frequency; (b)
+and (c) improve L2 latency/capacity at the planar clock.  The experiment
+quantifies each step's performance on a workload set, reproducing the
+section's argument that stopping at stacked caches leaves most of the
+benefit unrealized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
+
+from repro.cpu.pipeline import simulate
+from repro.experiments.context import ExperimentContext
+
+#: Roadmap stages in presentation order.
+STAGES = ("planar", "stacked-l2", "stacked-cache+", "3d-cores")
+
+
+@dataclass
+class RoadmapResult:
+    """Per-stage geometric-mean performance."""
+
+    #: stage -> benchmark -> instructions per ns
+    ipns: Dict[str, Dict[str, float]]
+    #: stage -> geometric-mean speedup over the planar stage
+    speedup: Dict[str, float]
+
+    def format(self) -> str:
+        lines = [
+            "Figure 2 roadmap: from planar to full 3D cores",
+            f"{'stage':<16s} {'speedup':>8s}",
+        ]
+        for stage in STAGES:
+            lines.append(f"{stage:<16s} {self.speedup[stage]:7.2f}x")
+        lines.append(
+            "stacked caches alone capture only part of the full-3D gain "
+            "(Section 2.2's motivation)"
+        )
+        return "\n".join(lines)
+
+
+def _geomean(values: List[float]) -> float:
+    import math
+    return math.exp(sum(math.log(v) for v in values) / len(values)) if values else 0.0
+
+
+def run_roadmap(
+    context: Optional[ExperimentContext] = None,
+    benchmarks: Optional[List[str]] = None,
+) -> RoadmapResult:
+    """Evaluate the four roadmap stages."""
+    context = context or ExperimentContext()
+    names = benchmarks or context.settings.benchmark_list()
+
+    base = context.configs["Base"]
+    stages = {
+        "planar": base,
+        # A 3D-stacked L2 die: the L2 moves closer (fewer cycles), cores
+        # untouched.
+        "stacked-l2": replace(base, name="stacked-l2", l2_latency=9),
+        # Additional cache layers: closer still, and twice the capacity.
+        "stacked-cache+": replace(
+            base, name="stacked-cache+", l2_latency=8, l2_size=8 << 20
+        ),
+        # Full 3D cores (this paper).
+        "3d-cores": context.configs["3D"],
+    }
+
+    ipns: Dict[str, Dict[str, float]] = {stage: {} for stage in STAGES}
+    for name in names:
+        trace = context.trace(name)
+        for stage, config in stages.items():
+            if stage in ("planar", "3d-cores"):
+                result = context.run(name, "Base" if stage == "planar" else "3D")
+            else:
+                result = simulate(trace, config, warmup=context.settings.warmup)
+            ipns[stage][name] = result.ipns
+
+    speedup = {
+        stage: _geomean([
+            ipns[stage][name] / ipns["planar"][name] for name in names
+        ])
+        for stage in STAGES
+    }
+    return RoadmapResult(ipns=ipns, speedup=speedup)

@@ -1,0 +1,101 @@
+"""Transient thermal response: how fast do hotspots form?
+
+Dynamic thermal management reacts on the thermal time constant.  This
+experiment applies a power step (idle -> the reference app's full power)
+to the planar chip and the 3D stack and measures the time each takes to
+close 90 % of the gap to its steady-state peak.  The 3D stack's thinned
+dies carry far less heat capacity per watt, so its hotspots form faster —
+DTM for stacked processors must react quicker, an operational corollary
+of the paper's thermal analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.experiments.context import CORE_COUNT, ExperimentContext, REFERENCE_BENCHMARK
+from repro.power.model import StackKind
+from repro.thermal.power_map import build_power_map, rasterize
+from repro.thermal.transient import TransientThermalSolver
+
+
+@dataclass
+class StepResponse:
+    """One stack's response to the power step."""
+
+    label: str
+    steady_peak_k: float
+    time_to_90pct_s: Optional[float]
+
+
+@dataclass
+class TransientResponseResult:
+    """Planar vs 3D step responses."""
+
+    planar: StepResponse
+    stacked: StepResponse
+
+    def format(self) -> str:
+        def render(r: StepResponse) -> str:
+            t90 = f"{r.time_to_90pct_s * 1e3:7.1f} ms" if r.time_to_90pct_s else "  (n/a)"
+            return f"  {r.label:<8s} steady {r.steady_peak_k:6.1f} K, 90% rise in {t90}"
+        lines = [
+            "transient step response (idle -> full power)",
+            render(self.planar),
+            render(self.stacked),
+        ]
+        if self.planar.time_to_90pct_s and self.stacked.time_to_90pct_s:
+            ratio = self.planar.time_to_90pct_s / self.stacked.time_to_90pct_s
+            lines.append(
+                f"the 3D stack heats {ratio:.1f}x faster: DTM must react sooner"
+            )
+        return "\n".join(lines)
+
+
+def _step_response(
+    context: ExperimentContext,
+    label: str,
+    stack_kind: StackKind,
+    breakdown,
+    dt_s: float,
+    duration_s: float,
+) -> StepResponse:
+    solver = context.solver(stack_kind)
+    plan = context.floorplan(stack_kind)
+    watts = build_power_map(plan, [breakdown] * CORE_COUNT)
+    ny, nx = solver.chip_grid_shape()
+    grids = rasterize(plan, watts, nx, ny)
+
+    steady = solver.solve(grids)
+    ambient = solver.stack.ambient_k
+    target = ambient + 0.9 * (steady.peak_temperature - ambient)
+
+    transient = TransientThermalSolver(solver, dt_s=dt_s)
+    response = transient.run(lambda t: grids, duration_s=duration_s)
+    return StepResponse(
+        label=label,
+        steady_peak_k=steady.peak_temperature,
+        time_to_90pct_s=response.time_to_reach(target),
+    )
+
+
+def run_transient_response(
+    context: Optional[ExperimentContext] = None,
+    benchmark: str = REFERENCE_BENCHMARK,
+    dt_s: float = 20e-3,
+    duration_s: float = 20.0,
+) -> TransientResponseResult:
+    """Measure the 90 % step-response time of both stacks."""
+    context = context or ExperimentContext()
+    planar = _step_response(
+        context, "planar", StackKind.PLANAR_2D,
+        context.power(benchmark, "Base"), dt_s, duration_s,
+    )
+    stacked = _step_response(
+        context, "3D-TH", StackKind.STACKED_3D,
+        context.power(benchmark, "3D"), dt_s, duration_s,
+    )
+    return TransientResponseResult(planar=planar, stacked=stacked)

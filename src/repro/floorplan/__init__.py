@@ -1,0 +1,20 @@
+"""Floorplans for the planar processor and the 4-die 3D stack (Figure 7).
+
+The planar chip places two cores over a shared L2; the 3D floorplan folds
+every block's footprint by the die count, shrinking the chip to roughly a
+quarter of the planar area, with each partitioned block present on all
+four dies.  Block areas come from the circuit models so power density is
+consistent between the power and thermal analyses.
+"""
+
+from repro.floorplan.geometry import Rect, Block, Floorplan
+from repro.floorplan.planar import planar_floorplan
+from repro.floorplan.stacked import stacked_floorplan
+
+__all__ = [
+    "Rect",
+    "Block",
+    "Floorplan",
+    "planar_floorplan",
+    "stacked_floorplan",
+]

@@ -1,0 +1,74 @@
+"""Relative block layout of one core.
+
+The layout is a slicing arrangement: horizontal rows, each split into
+blocks by width fractions.  Block names match the activity-module names
+used by the timing and power models; ``decode``, ``agu`` and
+``core_misc`` are filler regions that receive only their area share of
+clock and leakage power.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.floorplan.geometry import Block, Rect
+
+#: (row height fraction, [(block name, width fraction), ...])
+CORE_ROWS: List[Tuple[float, List[Tuple[str, float]]]] = [
+    (0.24, [
+        ("l1_icache", 0.40),
+        ("itlb", 0.10),
+        ("fetch_queue", 0.15),
+        ("btb", 0.12),
+        ("ibtb", 0.08),
+        ("dir_predictor", 0.15),
+    ]),
+    (0.22, [
+        ("decode", 0.15),
+        ("rename", 0.16),
+        ("scheduler", 0.15),
+        ("rob", 0.22),
+        ("register_file", 0.32),
+    ]),
+    (0.26, [
+        ("alu", 0.19),
+        ("bypass", 0.15),
+        ("fpu", 0.30),
+        ("agu", 0.10),
+        ("load_queue", 0.12),
+        ("store_queue", 0.14),
+    ]),
+    (0.28, [
+        ("l1_dcache", 0.52),
+        ("dtlb", 0.12),
+        ("core_misc", 0.36),
+    ]),
+]
+
+#: Names of filler blocks with no activity of their own.
+FILLER_BLOCKS = ("decode", "agu", "core_misc")
+
+
+def layout_core(prefix: str, origin_x: float, origin_y: float,
+                width: float, height: float, die: int = 0) -> List[Block]:
+    """Instantiate the relative core layout at an absolute position.
+
+    Block names are prefixed with ``prefix`` (e.g. ``core0.``).
+    """
+    blocks: List[Block] = []
+    y = origin_y
+    for row_height_frac, row in CORE_ROWS:
+        row_height = row_height_frac * height
+        x = origin_x
+        for name, width_frac in row:
+            block_width = width_frac * width
+            blocks.append(
+                Block(
+                    name=f"{prefix}{name}",
+                    rect=Rect(x=x, y=y, w=block_width, h=row_height),
+                    die=die,
+                )
+            )
+            x += block_width
+        y += row_height
+    return blocks

@@ -1,0 +1,99 @@
+"""Floorplan geometry primitives."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle in millimetres."""
+
+    x: float
+    y: float
+    w: float
+    h: float
+
+    def __post_init__(self) -> None:
+        if self.w <= 0 or self.h <= 0:
+            raise ValueError(f"rectangle must have positive dimensions, got {self.w}x{self.h}")
+
+    @property
+    def area_mm2(self) -> float:
+        return self.w * self.h
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return self.x + self.w / 2.0, self.y + self.h / 2.0
+
+    def overlaps(self, other: "Rect", tolerance: float = 1e-9) -> bool:
+        return not (
+            self.x + self.w <= other.x + tolerance
+            or other.x + other.w <= self.x + tolerance
+            or self.y + self.h <= other.y + tolerance
+            or other.y + other.h <= self.y + tolerance
+        )
+
+
+@dataclass(frozen=True)
+class Block:
+    """A named floorplan block on a specific die (die 0 = top)."""
+
+    name: str
+    rect: Rect
+    die: int = 0
+
+    @property
+    def area_mm2(self) -> float:
+        return self.rect.area_mm2
+
+
+@dataclass
+class Floorplan:
+    """A complete chip floorplan across one or more dies."""
+
+    name: str
+    width_mm: float
+    height_mm: float
+    dies: int
+    blocks: List[Block] = field(default_factory=list)
+
+    def add(self, block: Block) -> None:
+        if not 0 <= block.die < self.dies:
+            raise ValueError(f"block {block.name} on die {block.die}, but floorplan has {self.dies}")
+        self.blocks.append(block)
+
+    def blocks_on_die(self, die: int) -> List[Block]:
+        return [b for b in self.blocks if b.die == die]
+
+    def find(self, name: str, die: Optional[int] = None) -> Block:
+        for block in self.blocks:
+            if block.name == name and (die is None or block.die == die):
+                return block
+        raise KeyError(f"no block named {name!r}" + (f" on die {die}" if die is not None else ""))
+
+    def total_block_area(self) -> float:
+        return sum(b.area_mm2 for b in self.blocks)
+
+    def block_names(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for block in self.blocks:
+            seen.setdefault(block.name, None)
+        return list(seen)
+
+    def validate(self) -> None:
+        """Check all blocks fit the die outline and do not overlap."""
+        for block in self.blocks:
+            r = block.rect
+            if r.x < -1e-9 or r.y < -1e-9 or r.x + r.w > self.width_mm + 1e-9 \
+                    or r.y + r.h > self.height_mm + 1e-9:
+                raise ValueError(
+                    f"block {block.name} ({r}) exceeds the {self.width_mm}x{self.height_mm} outline"
+                )
+        for die in range(self.dies):
+            on_die = self.blocks_on_die(die)
+            for i, a in enumerate(on_die):
+                for b in on_die[i + 1:]:
+                    if a.rect.overlaps(b.rect):
+                        raise ValueError(f"blocks {a.name} and {b.name} overlap on die {die}")

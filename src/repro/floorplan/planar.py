@@ -1,0 +1,40 @@
+"""The planar (2D) two-core floorplan of Figure 7(a)."""
+
+from __future__ import annotations
+
+from repro.floorplan.core_layout import layout_core
+from repro.floorplan.geometry import Block, Floorplan, Rect
+
+#: Planar core dimensions (mm); a Core 2-class 65 nm core with L1s.
+CORE_WIDTH_MM = 5.0
+CORE_HEIGHT_MM = 4.4
+#: Shared L2 strip below the cores.
+L2_HEIGHT_MM = 5.0
+
+
+def planar_floorplan(core_count: int = 2) -> Floorplan:
+    """Two cores side by side over a shared 4MB L2."""
+    if core_count < 1:
+        raise ValueError(f"core_count must be >= 1, got {core_count}")
+    width = CORE_WIDTH_MM * core_count
+    height = CORE_HEIGHT_MM + L2_HEIGHT_MM
+    plan = Floorplan(name="planar-2d", width_mm=width, height_mm=height, dies=1)
+    for core in range(core_count):
+        for block in layout_core(
+            prefix=f"core{core}.",
+            origin_x=core * CORE_WIDTH_MM,
+            origin_y=0.0,
+            width=CORE_WIDTH_MM,
+            height=CORE_HEIGHT_MM,
+            die=0,
+        ):
+            plan.add(block)
+    plan.add(
+        Block(
+            name="l2_cache",
+            rect=Rect(x=0.0, y=CORE_HEIGHT_MM, w=width, h=L2_HEIGHT_MM),
+            die=0,
+        )
+    )
+    plan.validate()
+    return plan

@@ -1,0 +1,76 @@
+"""ASCII floorplan rendering (the Figure 7 counterpart).
+
+Draws a die's blocks as labelled regions on a character grid and
+summarizes the area budget — used by the figure7 experiment and handy
+when editing the layout tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.floorplan.geometry import Block, Floorplan
+
+
+def _label_chars(names: List[str]) -> Dict[str, str]:
+    """Assign each block name a single drawing character."""
+    palette = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+    mapping: Dict[str, str] = {}
+    for index, name in enumerate(names):
+        mapping[name] = palette[index % len(palette)]
+    return mapping
+
+
+def render_die_ascii(
+    floorplan: Floorplan,
+    die: int = 0,
+    width_chars: int = 64,
+) -> str:
+    """Render one die's floorplan as a labelled ASCII map with a legend."""
+    if width_chars < 8:
+        raise ValueError(f"width_chars must be >= 8, got {width_chars}")
+    blocks = floorplan.blocks_on_die(die)
+    if not blocks:
+        raise ValueError(f"no blocks on die {die}")
+    # Character cell aspect ~2:1, so halve the row count.
+    height_chars = max(
+        4, int(width_chars * floorplan.height_mm / floorplan.width_mm / 2)
+    )
+    dx = floorplan.width_mm / width_chars
+    dy = floorplan.height_mm / height_chars
+
+    chars = _label_chars([b.name for b in blocks])
+    grid = [[" "] * width_chars for _ in range(height_chars)]
+    for block in blocks:
+        r = block.rect
+        x0 = int(r.x / dx)
+        x1 = max(x0 + 1, min(width_chars, int(round((r.x + r.w) / dx))))
+        y0 = int(r.y / dy)
+        y1 = max(y0 + 1, min(height_chars, int(round((r.y + r.h) / dy))))
+        for j in range(y0, y1):
+            for i in range(x0, x1):
+                grid[j][i] = chars[block.name]
+
+    lines = ["+" + "-" * width_chars + "+"]
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append("+" + "-" * width_chars + "+")
+    lines.append("legend:")
+    for block in blocks:
+        lines.append(
+            f"  {chars[block.name]} {block.name:<24s} {block.area_mm2:6.2f} mm^2"
+        )
+    return "\n".join(lines)
+
+
+def area_summary(floorplan: Floorplan) -> str:
+    """Chip dimensions and per-die area accounting."""
+    lines = [
+        f"{floorplan.name}: {floorplan.width_mm:.1f} x {floorplan.height_mm:.1f} mm "
+        f"({floorplan.width_mm * floorplan.height_mm:.1f} mm^2 footprint, "
+        f"{floorplan.dies} die)",
+    ]
+    for die in range(floorplan.dies):
+        total = sum(b.area_mm2 for b in floorplan.blocks_on_die(die))
+        lines.append(f"  die {die}: {total:6.1f} mm^2 of blocks")
+    return "\n".join(lines)

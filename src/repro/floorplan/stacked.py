@@ -1,0 +1,51 @@
+"""The 4-die stacked floorplan of Figure 7(b).
+
+Every partitioned block occupies the same (x, y) region on all four dies
+— that is the point of the partitioning: a block's four slices are
+vertically adjacent, connected by d2d vias.  The footprint of each
+dimension halves, giving the ~4x footprint reduction the paper reports,
+and the cores/L2 are re-packed to reduce whitespace.
+"""
+
+from __future__ import annotations
+
+from repro.floorplan.core_layout import layout_core
+from repro.floorplan.geometry import Block, Floorplan, Rect
+from repro.floorplan.planar import CORE_WIDTH_MM, CORE_HEIGHT_MM, L2_HEIGHT_MM
+
+#: Linear fold per dimension (4 dies => each dimension halves).
+FOLD = 2.0
+
+
+def stacked_floorplan(core_count: int = 2, dies: int = 4) -> Floorplan:
+    """Two folded cores side by side over the folded shared L2, x4 dies."""
+    if core_count < 1:
+        raise ValueError(f"core_count must be >= 1, got {core_count}")
+    if dies < 1:
+        raise ValueError(f"dies must be >= 1, got {dies}")
+    core_w = CORE_WIDTH_MM / FOLD
+    core_h = CORE_HEIGHT_MM / FOLD
+    l2_h = L2_HEIGHT_MM / FOLD
+    width = core_w * core_count
+    height = core_h + l2_h
+    plan = Floorplan(name="stacked-3d", width_mm=width, height_mm=height, dies=dies)
+    for die in range(dies):
+        for core in range(core_count):
+            for block in layout_core(
+                prefix=f"core{core}.",
+                origin_x=core * core_w,
+                origin_y=0.0,
+                width=core_w,
+                height=core_h,
+                die=die,
+            ):
+                plan.add(block)
+        plan.add(
+            Block(
+                name="l2_cache",
+                rect=Rect(x=0.0, y=core_h, w=width, h=l2_h),
+                die=die,
+            )
+        )
+    plan.validate()
+    return plan

@@ -1,0 +1,150 @@
+"""Fluent builder for hand-written traces.
+
+Microbenchmarks and tests need small, precisely controlled instruction
+streams; constructing :class:`TraceInstruction` records by hand is
+verbose and error prone (PCs, srcs/values pairing, branch targets).  The
+builder assigns sequential PCs, tracks register values so ``src_values``
+always match the dataflow, and checks branch-target consistency.
+
+Example::
+
+    trace = (TraceBuilder("microbench")
+             .alu(dst=1, result=5)
+             .alu(dst=2, result=7, srcs=(1,))
+             .load(dst=3, addr=0x2AAA_0000_0000, value=42, srcs=(2,))
+             .branch(taken=False)
+             .build())
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instruction import TraceInstruction
+from repro.isa.opcodes import OpClass
+from repro.isa.trace import Trace
+from repro.isa.values import to_unsigned
+
+DEFAULT_PC = 0x40_0000
+
+
+class TraceBuilder:
+    """Accumulates instructions with consistent PCs and dataflow."""
+
+    def __init__(self, name: str = "built", start_pc: int = DEFAULT_PC):
+        if start_pc % 4:
+            raise ValueError(f"start pc must be 4-byte aligned, got {start_pc:#x}")
+        self.name = name
+        self._pc = start_pc
+        self._instructions: List[TraceInstruction] = []
+        self._regs: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def _values_for(self, srcs: Tuple[int, ...]) -> Tuple[int, ...]:
+        return tuple(self._regs.get(reg, 0) for reg in srcs)
+
+    def _advance(self, inst: TraceInstruction) -> "TraceBuilder":
+        self._instructions.append(inst)
+        self._pc = inst.next_pc
+        if inst.dst is not None:
+            self._regs[inst.dst] = to_unsigned(inst.result)
+        return self
+
+    @property
+    def next_pc(self) -> int:
+        """The PC the next appended instruction will get."""
+        return self._pc
+
+    # ------------------------------------------------------------------ #
+
+    def alu(self, dst: int, result: int, srcs: Tuple[int, ...] = (),
+            op: OpClass = OpClass.IALU) -> "TraceBuilder":
+        """An integer ALU instruction producing ``result``."""
+        if not op.is_integer_datapath or op.is_memory:
+            raise ValueError(f"{op} is not an ALU opcode")
+        return self._advance(TraceInstruction(
+            pc=self._pc, op=op, srcs=srcs, dst=dst,
+            result=to_unsigned(result), src_values=self._values_for(srcs),
+        ))
+
+    def fp(self, dst: int, srcs: Tuple[int, ...] = (),
+           op: OpClass = OpClass.FADD, result: int = 0) -> "TraceBuilder":
+        """A floating point instruction (bit pattern is opaque)."""
+        if not op.is_fp:
+            raise ValueError(f"{op} is not a floating point opcode")
+        return self._advance(TraceInstruction(
+            pc=self._pc, op=op, srcs=srcs, dst=dst,
+            result=to_unsigned(result), src_values=self._values_for(srcs),
+        ))
+
+    def load(self, dst: int, addr: int, value: int,
+             srcs: Tuple[int, ...] = ()) -> "TraceBuilder":
+        """A load of ``value`` from ``addr``."""
+        return self._advance(TraceInstruction(
+            pc=self._pc, op=OpClass.LOAD, srcs=srcs, dst=dst,
+            result=to_unsigned(value), src_values=self._values_for(srcs),
+            mem_addr=addr, mem_value=to_unsigned(value),
+        ))
+
+    def store(self, addr: int, value: int,
+              srcs: Tuple[int, ...] = ()) -> "TraceBuilder":
+        """A store of ``value`` to ``addr``."""
+        return self._advance(TraceInstruction(
+            pc=self._pc, op=OpClass.STORE, srcs=srcs,
+            src_values=self._values_for(srcs),
+            mem_addr=addr, mem_value=to_unsigned(value),
+        ))
+
+    def branch(self, taken: bool, target: Optional[int] = None,
+               srcs: Tuple[int, ...] = ()) -> "TraceBuilder":
+        """A conditional branch; taken branches need a 4-aligned target."""
+        if taken:
+            if target is None:
+                raise ValueError("taken branches need a target")
+            if target % 4:
+                raise ValueError(f"target must be 4-byte aligned, got {target:#x}")
+        return self._advance(TraceInstruction(
+            pc=self._pc, op=OpClass.BRANCH, srcs=srcs,
+            src_values=self._values_for(srcs),
+            taken=taken, target=target if taken else None,
+        ))
+
+    def jump(self, target: int) -> "TraceBuilder":
+        return self._advance(TraceInstruction(
+            pc=self._pc, op=OpClass.JUMP, taken=True, target=target,
+        ))
+
+    def call(self, target: int) -> "TraceBuilder":
+        return self._advance(TraceInstruction(
+            pc=self._pc, op=OpClass.CALL, taken=True, target=target,
+        ))
+
+    def ret(self, target: int) -> "TraceBuilder":
+        return self._advance(TraceInstruction(
+            pc=self._pc, op=OpClass.RETURN, taken=True, target=target,
+        ))
+
+    def repeat(self, times: int, body) -> "TraceBuilder":
+        """Apply ``body(builder, iteration)`` ``times`` times."""
+        if times < 0:
+            raise ValueError(f"times must be non-negative, got {times}")
+        for iteration in range(times):
+            body(self, iteration)
+        return self
+
+    # ------------------------------------------------------------------ #
+
+    def build(self, benchmark_class: str = "microbench") -> Trace:
+        """Finalize into a :class:`Trace`, validating path continuity."""
+        for a, b in zip(self._instructions, self._instructions[1:]):
+            if a.next_pc != b.pc:
+                raise ValueError(
+                    f"committed path breaks between {a.pc:#x} (next "
+                    f"{a.next_pc:#x}) and {b.pc:#x}"
+                )
+        return Trace(
+            name=self.name,
+            instructions=list(self._instructions),
+            benchmark_class=benchmark_class,
+        )

@@ -1,0 +1,112 @@
+"""Opcode classes and functional-unit mapping for the trace ISA.
+
+The paper models a Core 2-class machine (Table 1): 3 integer ALUs, 2
+shifters, 1 multiplier/complex unit, 1 FP adder, 1 FP multiplier, 1 FP
+divider/sqrt, one load/store port and one load-only port.  We keep the
+trace ISA at the granularity the timing and activity models need: an
+opcode *class* per instruction rather than a full architectural opcode.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OpClass(enum.Enum):
+    """Semantic class of a trace instruction."""
+
+    IALU = "ialu"          # integer add/sub/logic/compare
+    ISHIFT = "ishift"      # integer shift/rotate/byte-manipulation
+    IMUL = "imul"          # integer multiply and other long-latency int ops
+    FADD = "fadd"          # floating point add/sub/convert
+    FMUL = "fmul"          # floating point multiply
+    FDIV = "fdiv"          # floating point divide / sqrt
+    LOAD = "load"          # memory read
+    STORE = "store"        # memory write
+    BRANCH = "branch"      # conditional direct branch
+    JUMP = "jump"          # unconditional direct jump
+    CALL = "call"          # direct function call (pushes return address)
+    RETURN = "return"      # indirect return (uses iBTB / RAS-like target)
+    NOP = "nop"            # no-op / fence placeholder
+
+    @property
+    def is_memory(self) -> bool:
+        return self in (OpClass.LOAD, OpClass.STORE)
+
+    @property
+    def is_control(self) -> bool:
+        return self in (OpClass.BRANCH, OpClass.JUMP, OpClass.CALL, OpClass.RETURN)
+
+    @property
+    def is_conditional(self) -> bool:
+        return self is OpClass.BRANCH
+
+    @property
+    def is_fp(self) -> bool:
+        return self in (OpClass.FADD, OpClass.FMUL, OpClass.FDIV)
+
+    @property
+    def is_integer_datapath(self) -> bool:
+        """True for ops whose results flow through the 64-bit integer datapath.
+
+        These are the instructions subject to width prediction and the
+        significance-partitioned register file / ALU / bypass techniques.
+        """
+        return self in (
+            OpClass.IALU,
+            OpClass.ISHIFT,
+            OpClass.IMUL,
+            OpClass.LOAD,
+            OpClass.STORE,
+        )
+
+
+class FunctionalUnit(enum.Enum):
+    """Execution resource pools (Table 1 of the paper)."""
+
+    INT_ALU = "int_alu"
+    INT_SHIFT = "int_shift"
+    INT_MUL = "int_mul"
+    FP_ADD = "fp_add"
+    FP_MUL = "fp_mul"
+    FP_DIV = "fp_div"
+    LOAD_STORE_PORT = "ld_st_port"
+    LOAD_PORT = "ld_port"
+
+
+#: Which functional-unit pool executes each opcode class.  Loads may use
+#: either memory port; the issue logic treats LOAD specially (see
+#: :mod:`repro.cpu.execute`).
+FU_FOR_OP = {
+    OpClass.IALU: FunctionalUnit.INT_ALU,
+    OpClass.ISHIFT: FunctionalUnit.INT_SHIFT,
+    OpClass.IMUL: FunctionalUnit.INT_MUL,
+    OpClass.FADD: FunctionalUnit.FP_ADD,
+    OpClass.FMUL: FunctionalUnit.FP_MUL,
+    OpClass.FDIV: FunctionalUnit.FP_DIV,
+    OpClass.LOAD: FunctionalUnit.LOAD_PORT,
+    OpClass.STORE: FunctionalUnit.LOAD_STORE_PORT,
+    OpClass.BRANCH: FunctionalUnit.INT_ALU,
+    OpClass.JUMP: FunctionalUnit.INT_ALU,
+    OpClass.CALL: FunctionalUnit.INT_ALU,
+    OpClass.RETURN: FunctionalUnit.INT_ALU,
+    OpClass.NOP: FunctionalUnit.INT_ALU,
+}
+
+#: Execution latency in cycles (cache access latency for loads is added by
+#: the memory hierarchy on top of the 1-cycle address generation here).
+OP_LATENCY = {
+    OpClass.IALU: 1,
+    OpClass.ISHIFT: 1,
+    OpClass.IMUL: 4,
+    OpClass.FADD: 3,
+    OpClass.FMUL: 5,
+    OpClass.FDIV: 20,
+    OpClass.LOAD: 1,
+    OpClass.STORE: 1,
+    OpClass.BRANCH: 1,
+    OpClass.JUMP: 1,
+    OpClass.CALL: 1,
+    OpClass.RETURN: 1,
+    OpClass.NOP: 1,
+}

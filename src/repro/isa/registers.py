@@ -1,0 +1,50 @@
+"""Architectural register namespace for the trace ISA.
+
+We model an Alpha-like split register file: 32 integer and 32 floating
+point architectural registers.  Integer register 31 is the hard-wired
+zero register (writes are discarded, reads return zero), which the
+workload emulator uses for result-discarding instructions.
+"""
+
+from __future__ import annotations
+
+import enum
+
+#: Number of architectural integer registers.
+NUM_INT_REGS = 32
+#: Number of architectural floating point registers.
+NUM_FP_REGS = 32
+#: Integer register ids are [0, 32); FP ids are offset by this constant.
+FP_REG_BASE = NUM_INT_REGS
+#: The hard-wired integer zero register.
+ZERO_REG = 31
+#: Conventional stack pointer register (used by generators for stack traffic).
+STACK_POINTER_REG = 30
+#: Total architectural register namespace size.
+TOTAL_REGS = NUM_INT_REGS + NUM_FP_REGS
+
+
+class RegisterClass(enum.Enum):
+    """Whether a register id names an integer or floating point register."""
+
+    INT = "int"
+    FP = "fp"
+
+
+def register_class(reg: int) -> RegisterClass:
+    """Classify a register id as integer or floating point."""
+    if not 0 <= reg < TOTAL_REGS:
+        raise ValueError(f"register id {reg} out of range [0, {TOTAL_REGS})")
+    return RegisterClass.INT if reg < FP_REG_BASE else RegisterClass.FP
+
+
+def fp_reg(index: int) -> int:
+    """Register id of floating point register ``index``."""
+    if not 0 <= index < NUM_FP_REGS:
+        raise ValueError(f"fp register index {index} out of range [0, {NUM_FP_REGS})")
+    return FP_REG_BASE + index
+
+
+def is_zero_reg(reg: int) -> bool:
+    """True when ``reg`` is the hard-wired integer zero register."""
+    return reg == ZERO_REG

@@ -1,0 +1,105 @@
+"""Trace (de)serialization.
+
+Traces are stored as gzip-compressed JSON-lines: a header record followed
+by one record per instruction.  The format is line-oriented so huge
+traces can stream; integers are kept as decimal strings only where JSON
+cannot hold them exactly (none — all fields fit in 64 bits and Python's
+JSON handles arbitrary ints, so values are stored directly).
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import List, Union
+
+from repro.isa.instruction import TraceInstruction
+from repro.isa.opcodes import OpClass
+from repro.isa.trace import Trace
+
+#: Format identifier written into the header record.
+FORMAT = "repro-trace"
+VERSION = 1
+
+
+def _instruction_to_record(inst: TraceInstruction) -> dict:
+    record = {"pc": inst.pc, "op": inst.op.value}
+    if inst.srcs:
+        record["srcs"] = list(inst.srcs)
+    if inst.src_values:
+        record["sv"] = list(inst.src_values)
+    if inst.dst is not None:
+        record["dst"] = inst.dst
+        record["res"] = inst.result
+    if inst.mem_addr is not None:
+        record["ma"] = inst.mem_addr
+    if inst.mem_value is not None:
+        record["mv"] = inst.mem_value
+    if inst.taken:
+        record["tk"] = 1
+        record["tg"] = inst.target
+    return record
+
+
+def _record_to_instruction(record: dict) -> TraceInstruction:
+    return TraceInstruction(
+        pc=record["pc"],
+        op=OpClass(record["op"]),
+        srcs=tuple(record.get("srcs", ())),
+        src_values=tuple(record.get("sv", ())),
+        dst=record.get("dst"),
+        result=record.get("res", 0),
+        mem_addr=record.get("ma"),
+        mem_value=record.get("mv"),
+        taken=bool(record.get("tk", 0)),
+        target=record.get("tg"),
+    )
+
+
+def save_trace(trace: Trace, path: Union[str, Path]) -> None:
+    """Write ``trace`` to ``path`` (gzip JSON-lines)."""
+    path = Path(path)
+    header = {
+        "format": FORMAT,
+        "version": VERSION,
+        "name": trace.name,
+        "benchmark_class": trace.benchmark_class,
+        "seed": trace.seed,
+        "length": len(trace),
+    }
+    with gzip.open(path, "wt", encoding="utf-8") as stream:
+        stream.write(json.dumps(header) + "\n")
+        for inst in trace:
+            stream.write(json.dumps(_instruction_to_record(inst)) + "\n")
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    path = Path(path)
+    with gzip.open(path, "rt", encoding="utf-8") as stream:
+        header_line = stream.readline()
+        if not header_line:
+            raise ValueError(f"{path}: empty trace file")
+        header = json.loads(header_line)
+        if header.get("format") != FORMAT:
+            raise ValueError(f"{path}: not a {FORMAT} file")
+        if header.get("version") != VERSION:
+            raise ValueError(
+                f"{path}: unsupported version {header.get('version')} (expected {VERSION})"
+            )
+        instructions: List[TraceInstruction] = []
+        for line in stream:
+            if line.strip():
+                instructions.append(_record_to_instruction(json.loads(line)))
+    if len(instructions) != header.get("length"):
+        raise ValueError(
+            f"{path}: header says {header.get('length')} instructions, "
+            f"found {len(instructions)}"
+        )
+    return Trace(
+        name=header.get("name", path.stem),
+        instructions=instructions,
+        benchmark_class=header.get("benchmark_class", "unknown"),
+        seed=header.get("seed"),
+    )

@@ -1,0 +1,134 @@
+"""Value-width utilities for the significance-partitioned datapath.
+
+The paper partitions every 64-bit integer value into four 16-bit words,
+one per die, with the least-significant word on the die closest to the
+heat sink.  A value is *low width* when it is representable in 16 bits,
+i.e. the upper 48 bits are all zeros (small non-negative values) or all
+ones (small negative values in two's complement).
+
+The L1 data cache broadens "low width" with a 2-bit encoding of the upper
+48 bits (Section 3.6):
+
+====  =====================================================
+bits  meaning of the upper 48 bits
+====  =====================================================
+00    all zeros
+01    all ones (sign extension of a negative low value)
+10    identical to the upper 48 bits of the referencing
+      address (nearby-pointer case)
+11    not trivially encodable; stored on the lower three die
+====  =====================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Tuple
+
+#: Number of bits per die word.
+WORD_BITS = 16
+#: Full architectural value width.
+VALUE_BITS = 64
+#: Words (and therefore dies) per value.
+WORDS_PER_VALUE = VALUE_BITS // WORD_BITS
+#: A value is "low width" when representable in this many bits.
+LOW_WIDTH_BITS = WORD_BITS
+
+_VALUE_MASK = (1 << VALUE_BITS) - 1
+_WORD_MASK = (1 << WORD_BITS) - 1
+_UPPER_BITS = VALUE_BITS - WORD_BITS
+_UPPER_MASK = ((1 << _UPPER_BITS) - 1) << WORD_BITS
+_UPPER_ONES = _UPPER_MASK >> WORD_BITS
+
+
+class UpperBitsEncoding(enum.IntEnum):
+    """The 2-bit L1D partial-value encoding of a word's upper 48 bits."""
+
+    ALL_ZEROS = 0b00
+    ALL_ONES = 0b01
+    SAME_AS_ADDRESS = 0b10
+    LITERAL = 0b11
+
+    @property
+    def is_compressed(self) -> bool:
+        """True when the upper 48 bits need not be read from the lower dies."""
+        return self is not UpperBitsEncoding.LITERAL
+
+
+def to_unsigned(value: int) -> int:
+    """Normalize a Python int to its unsigned 64-bit representation."""
+    return value & _VALUE_MASK
+
+
+def sign_extend(value: int, bits: int = VALUE_BITS) -> int:
+    """Interpret the low ``bits`` bits of ``value`` as two's complement."""
+    if bits <= 0 or bits > VALUE_BITS:
+        raise ValueError(f"bits must be in [1, {VALUE_BITS}], got {bits}")
+    value &= (1 << bits) - 1
+    sign_bit = 1 << (bits - 1)
+    return (value ^ sign_bit) - sign_bit
+
+
+def significant_width(value: int) -> int:
+    """Number of bits needed to represent ``value`` in two's complement.
+
+    A non-negative value ``v`` needs ``v.bit_length() + 1`` bits (one for
+    the sign); a negative value ``v`` needs ``(~v).bit_length() + 1``.
+    Zero and minus-one both need 1 bit.  The result is capped at 64.
+    """
+    signed = sign_extend(to_unsigned(value))
+    if signed >= 0:
+        width = signed.bit_length() + 1
+    else:
+        width = (~signed).bit_length() + 1
+    return min(width, VALUE_BITS)
+
+
+def is_low_width(value: int, threshold: int = LOW_WIDTH_BITS) -> bool:
+    """True when ``value`` is representable in ``threshold`` bits (signed)."""
+    return significant_width(value) <= threshold
+
+
+def split_words(value: int) -> Tuple[int, ...]:
+    """Split a 64-bit value into four 16-bit words, LSW first.
+
+    Word 0 is the least-significant word, which lives on the top die
+    (closest to the heat sink) in the paper's stacking.
+    """
+    value = to_unsigned(value)
+    return tuple((value >> (WORD_BITS * i)) & _WORD_MASK for i in range(WORDS_PER_VALUE))
+
+
+def join_words(words: Tuple[int, ...]) -> int:
+    """Inverse of :func:`split_words`."""
+    if len(words) != WORDS_PER_VALUE:
+        raise ValueError(f"expected {WORDS_PER_VALUE} words, got {len(words)}")
+    value = 0
+    for i, word in enumerate(words):
+        if word & ~_WORD_MASK:
+            raise ValueError(f"word {i} ({word:#x}) exceeds {WORD_BITS} bits")
+        value |= word << (WORD_BITS * i)
+    return value
+
+
+def upper_bits(value: int) -> int:
+    """The upper 48 bits of a 64-bit value, right aligned."""
+    return to_unsigned(value) >> WORD_BITS
+
+
+def classify_upper_bits(value: int, address: Optional[int] = None) -> UpperBitsEncoding:
+    """Classify a value's upper 48 bits with the L1D partial-value encoding.
+
+    ``address`` is the address of the memory word holding ``value`` (the
+    "referencing address"); when provided and the value's upper bits match
+    the address's upper bits, the SAME_AS_ADDRESS encoding applies (the
+    nearby-pointer case the paper cites from heap data structures).
+    """
+    upper = upper_bits(value)
+    if upper == 0:
+        return UpperBitsEncoding.ALL_ZEROS
+    if upper == _UPPER_ONES:
+        return UpperBitsEncoding.ALL_ONES
+    if address is not None and upper == upper_bits(address):
+        return UpperBitsEncoding.SAME_AS_ADDRESS
+    return UpperBitsEncoding.LITERAL

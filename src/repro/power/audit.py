@@ -1,0 +1,99 @@
+"""Power audit: where the watts go, and whether the books balance.
+
+Sanity tooling over :class:`~repro.power.model.PowerBreakdown`: top
+consumers, per-die shares, dynamic/clock/leakage split, and cross-checks
+(per-die sums equal module totals; nothing negative).  Used by tests and
+handy when re-tuning block energies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.activity import NUM_DIES
+from repro.power.model import PowerBreakdown, StackKind
+
+
+@dataclass
+class AuditFinding:
+    """One bookkeeping violation."""
+
+    module: str
+    message: str
+
+
+def audit(breakdown: PowerBreakdown, tolerance: float = 1e-9) -> List[AuditFinding]:
+    """Check the breakdown's internal consistency; returns violations."""
+    findings: List[AuditFinding] = []
+    expected_dies = NUM_DIES if breakdown.stack is StackKind.STACKED_3D else 1
+    for name, module in breakdown.modules.items():
+        if module.watts < -tolerance:
+            findings.append(AuditFinding(name, f"negative power {module.watts}"))
+        if len(module.per_die) != expected_dies:
+            findings.append(AuditFinding(
+                name, f"{len(module.per_die)} die entries, expected {expected_dies}"
+            ))
+        if abs(sum(module.per_die) - module.watts) > max(tolerance, 1e-9 * abs(module.watts)):
+            findings.append(AuditFinding(
+                name, f"per-die sum {sum(module.per_die)} != watts {module.watts}"
+            ))
+        if any(w < -tolerance for w in module.per_die):
+            findings.append(AuditFinding(name, "negative per-die entry"))
+    if breakdown.clock_watts < 0 or breakdown.leakage_watts < 0:
+        findings.append(AuditFinding("(shared)", "negative clock/leakage"))
+    return findings
+
+
+def top_consumers(breakdown: PowerBreakdown, count: int = 5) -> List[Tuple[str, float]]:
+    """The ``count`` hungriest modules, (name, watts), descending."""
+    ranked = sorted(
+        ((name, module.watts) for name, module in breakdown.modules.items()),
+        key=lambda kv: -kv[1],
+    )
+    return ranked[:count]
+
+
+def composition(breakdown: PowerBreakdown) -> Dict[str, float]:
+    """Fractions of the total: dynamic / clock / leakage."""
+    total = breakdown.total_watts
+    if total <= 0:
+        return {"dynamic": 0.0, "clock": 0.0, "leakage": 0.0}
+    return {
+        "dynamic": breakdown.dynamic_watts / total,
+        "clock": breakdown.clock_watts / total,
+        "leakage": breakdown.leakage_watts / total,
+    }
+
+
+def die_shares(breakdown: PowerBreakdown) -> List[float]:
+    """Per-die fraction of the total (1.0 total across dies)."""
+    totals = breakdown.per_die_totals()
+    chip = sum(totals)
+    if chip <= 0:
+        return [0.0] * len(totals)
+    return [t / chip for t in totals]
+
+
+def format_audit(breakdown: PowerBreakdown) -> str:
+    """Human-readable audit block."""
+    comp = composition(breakdown)
+    lines = [
+        f"power audit: {breakdown.benchmark} [{breakdown.config_name}] "
+        f"{breakdown.stack.value} = {breakdown.total_watts:.2f} W/core",
+        f"  dynamic {comp['dynamic']:.1%}  clock {comp['clock']:.1%}  "
+        f"leakage {comp['leakage']:.1%}",
+        "  top consumers:",
+    ]
+    for name, watts in top_consumers(breakdown):
+        lines.append(f"    {name:<18s} {watts:7.3f} W")
+    if breakdown.stack is StackKind.STACKED_3D:
+        shares = die_shares(breakdown)
+        rendered = "  ".join(f"die{d}={s:.1%}" for d, s in enumerate(shares))
+        lines.append(f"  die shares: {rendered}")
+    findings = audit(breakdown)
+    lines.append(
+        "  books: OK" if not findings else
+        "  books: " + "; ".join(f"{f.module}: {f.message}" for f in findings)
+    )
+    return "\n".join(lines)

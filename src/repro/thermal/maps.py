@@ -1,0 +1,82 @@
+"""Thermal map rendering utilities.
+
+ASCII renderings of temperature grids and per-block summaries, the
+terminal counterpart of Figure 10's heat maps.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.thermal.solver import ThermalResult
+
+#: Intensity ramp from coolest to hottest.
+SHADES = " .:-=+*#%@"
+
+
+def render_grid(
+    grid: np.ndarray,
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+    row_stride: int = 2,
+) -> str:
+    """Render a temperature grid as ASCII shades.
+
+    ``row_stride`` halves the vertical resolution by default so the map
+    is roughly square in a terminal's character aspect ratio.
+    """
+    if grid.ndim != 2:
+        raise ValueError(f"expected a 2D grid, got shape {grid.shape}")
+    if row_stride < 1:
+        raise ValueError(f"row_stride must be >= 1, got {row_stride}")
+    lo = float(grid.min()) if lo is None else lo
+    hi = float(grid.max()) if hi is None else hi
+    span = max(hi - lo, 1e-9)
+    lines = []
+    for row in grid[::row_stride]:
+        chars = []
+        for value in row:
+            level = int((value - lo) / span * (len(SHADES) - 1))
+            chars.append(SHADES[max(0, min(level, len(SHADES) - 1))])
+        lines.append("".join(chars))
+    return "\n".join(lines)
+
+
+def render_die(result: ThermalResult, die: int, row_stride: int = 2) -> str:
+    """Render one die layer of a thermal result with a scale line."""
+    grid = result.layer_temps[result.die_layers[die]]
+    lo, hi = float(grid.min()), float(grid.max())
+    body = render_grid(grid, lo, hi, row_stride=row_stride)
+    return f"die {die}: {lo:.1f} K ({SHADES[0]!r}) .. {hi:.1f} K ({SHADES[-1]!r})\n{body}"
+
+
+def render_stack(result: ThermalResult, row_stride: int = 2) -> str:
+    """Render every die of a stack, top (heat sink side) first."""
+    sections = [
+        render_die(result, die, row_stride=row_stride)
+        for die in sorted(result.die_layers)
+    ]
+    return "\n\n".join(sections)
+
+
+def hotspot_table(
+    result: ThermalResult,
+    top: int = 10,
+    reference_k: Optional[float] = None,
+) -> str:
+    """Tabulate the hottest blocks, optionally with deltas to a reference."""
+    ranked: List[Tuple[Tuple[str, int], float]] = sorted(
+        result.block_peak.items(), key=lambda kv: -kv[1]
+    )[:top]
+    header = f"{'block':<26s} {'die':>3s} {'peak K':>8s}"
+    if reference_k is not None:
+        header += f" {'delta':>7s}"
+    lines = [header, "-" * len(header)]
+    for (name, die), temp in ranked:
+        row = f"{name:<26s} {die:3d} {temp:8.1f}"
+        if reference_k is not None:
+            row += f" {temp - reference_k:+7.1f}"
+        lines.append(row)
+    return "\n".join(lines)

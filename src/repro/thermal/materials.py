@@ -1,0 +1,38 @@
+"""Thermal material library.
+
+Conductivities in W/(m.K); volumetric heat capacities in J/(m^3.K) are
+carried for completeness (a transient solver would need them; the
+steady-state solver uses only k).
+
+The d2d bond layer follows the paper's Section 4 assumption: fully
+populated d2d vias whose width is half the pitch, i.e. 25 % copper
+occupancy; the remainder is modelled as underfill/air.  The TIM is a
+phase-change metallic alloy (far better than thermal grease).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Material:
+    """A homogeneous, isotropic thermal material."""
+
+    name: str
+    conductivity_w_mk: float
+    heat_capacity_j_m3k: float = 1.6e6
+
+    def __post_init__(self) -> None:
+        if self.conductivity_w_mk <= 0:
+            raise ValueError(f"{self.name}: conductivity must be positive")
+
+
+SILICON = Material("silicon", conductivity_w_mk=120.0, heat_capacity_j_m3k=1.75e6)
+COPPER = Material("copper", conductivity_w_mk=400.0, heat_capacity_j_m3k=3.55e6)
+#: Phase-change metallic alloy TIM [38]: far above grease (~1-4 W/mK).
+TIM_ALLOY = Material("tim-alloy", conductivity_w_mk=50.0, heat_capacity_j_m3k=1.5e6)
+#: d2d via layer: 25% copper + 75% underfill (k ~ 0.5): 0.25*400 + 0.75*0.5.
+D2D_BOND = Material("d2d-bond", conductivity_w_mk=100.4, heat_capacity_j_m3k=2.0e6)
+#: Package/board path below the bottom die (weak secondary heat path).
+PACKAGE = Material("package", conductivity_w_mk=2.0, heat_capacity_j_m3k=1.2e6)

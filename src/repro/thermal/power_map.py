@@ -1,0 +1,97 @@
+"""Floorplan power rasterization.
+
+``build_power_map`` combines per-core power breakdowns into per-(block,
+die) watts; ``rasterize`` turns those into per-die grids for the solver.
+Clock network and leakage power are distributed across all blocks (all
+dies for a 3D stack) proportionally to area — the clock tree and the
+leaking transistors are everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.floorplan.geometry import Floorplan
+from repro.power.model import PowerBreakdown, StackKind
+
+BlockDieKey = Tuple[str, int]
+
+
+def build_power_map(
+    floorplan: Floorplan,
+    core_breakdowns: Sequence[PowerBreakdown],
+) -> Dict[BlockDieKey, float]:
+    """Per-(block name, die) watts for the whole chip.
+
+    ``core_breakdowns[i]`` supplies the power of ``core{i}.*`` blocks;
+    the shared L2 receives every core's L2 power.  Clock and leakage are
+    spread area-proportionally over all blocks.
+    """
+    watts: Dict[BlockDieKey, float] = {
+        (block.name, block.die): 0.0 for block in floorplan.blocks
+    }
+
+    shared_total = 0.0
+    for core_index, breakdown in enumerate(core_breakdowns):
+        prefix = f"core{core_index}."
+        for module_name, module in breakdown.modules.items():
+            if module_name == "l2_cache":
+                target = "l2_cache"
+            else:
+                target = prefix + module_name
+            for die, die_watts in enumerate(module.per_die):
+                key = (target, die)
+                if key in watts:
+                    watts[key] += die_watts
+                else:
+                    # Module missing from the floorplan: spread it later.
+                    shared_total += die_watts
+        shared_total += breakdown.clock_watts + breakdown.leakage_watts
+
+    total_area = floorplan.total_block_area()
+    for block in floorplan.blocks:
+        watts[(block.name, block.die)] += shared_total * block.area_mm2 / total_area
+    return watts
+
+
+def rasterize(
+    floorplan: Floorplan,
+    watts: Dict[BlockDieKey, float],
+    nx: int,
+    ny: int,
+) -> List[np.ndarray]:
+    """Per-die (ny, nx) power grids in watts.
+
+    Each block's power is distributed uniformly over the grid cells it
+    overlaps, with partial cells weighted by overlap area.
+    """
+    if nx < 2 or ny < 2:
+        raise ValueError(f"grid must be at least 2x2, got {nx}x{ny}")
+    dx = floorplan.width_mm / nx
+    dy = floorplan.height_mm / ny
+    grids = [np.zeros((ny, nx)) for _ in range(floorplan.dies)]
+    for block in floorplan.blocks:
+        power = watts.get((block.name, block.die), 0.0)
+        if power <= 0.0:
+            continue
+        r = block.rect
+        x0 = max(0, int(r.x / dx))
+        x1 = min(nx, int(np.ceil((r.x + r.w) / dx)))
+        y0 = max(0, int(r.y / dy))
+        y1 = min(ny, int(np.ceil((r.y + r.h) / dy)))
+        density = power / r.area_mm2
+        grid = grids[block.die]
+        for j in range(y0, y1):
+            cell_y0, cell_y1 = j * dy, (j + 1) * dy
+            overlap_y = min(cell_y1, r.y + r.h) - max(cell_y0, r.y)
+            if overlap_y <= 0:
+                continue
+            for i in range(x0, x1):
+                cell_x0, cell_x1 = i * dx, (i + 1) * dx
+                overlap_x = min(cell_x1, r.x + r.w) - max(cell_x0, r.x)
+                if overlap_x <= 0:
+                    continue
+                grid[j, i] += density * overlap_x * overlap_y
+    return grids

@@ -1,0 +1,107 @@
+"""Layer stacks for the planar processor and the 4-die 3D stack.
+
+Layers are ordered from the heat sink downward.  ``power_die`` marks a
+layer as the active silicon of a die: the solver injects that die's
+power map into it.  Die 0 is the die adjacent to the heat sink, matching
+the Thermal Herding convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.thermal.materials import (
+    COPPER,
+    D2D_BOND,
+    Material,
+    PACKAGE,
+    SILICON,
+    TIM_ALLOY,
+)
+
+#: Sink-to-ambient convection resistance (K/W), HotSpot's r_convec analogue.
+#: Calibrated so the planar baseline at 90 W peaks near the paper's 360 K.
+DEFAULT_CONVECTION_K_PER_W = 0.17
+#: Ambient (into-sink) temperature, K — HotSpot's default 318.15 K.
+DEFAULT_AMBIENT_K = 318.15
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """One layer of the stack."""
+
+    name: str
+    material: Material
+    thickness_m: float
+    #: index of the die whose power map is injected here, or None
+    power_die: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.thickness_m <= 0:
+            raise ValueError(f"layer {self.name}: thickness must be positive")
+
+
+@dataclass
+class ThermalStack:
+    """A full stack: layers (sink side first) plus boundary conditions."""
+
+    name: str
+    layers: List[LayerSpec]
+    convection_k_per_w: float = DEFAULT_CONVECTION_K_PER_W
+    ambient_k: float = DEFAULT_AMBIENT_K
+
+    @property
+    def die_count(self) -> int:
+        return sum(1 for layer in self.layers if layer.power_die is not None)
+
+    def validate(self) -> None:
+        dies = sorted(
+            layer.power_die for layer in self.layers if layer.power_die is not None
+        )
+        if dies != list(range(len(dies))):
+            raise ValueError(f"power dies must be 0..n-1 exactly once, got {dies}")
+
+
+def planar_stack(convection_k_per_w: float = DEFAULT_CONVECTION_K_PER_W) -> ThermalStack:
+    """Spreader / TIM / bulk die / package."""
+    stack = ThermalStack(
+        name="planar",
+        layers=[
+            LayerSpec("spreader", COPPER, 1.0e-3),
+            LayerSpec("tim", TIM_ALLOY, 50e-6),
+            LayerSpec("die0", SILICON, 300e-6, power_die=0),
+            LayerSpec("package", PACKAGE, 500e-6),
+        ],
+        convection_k_per_w=convection_k_per_w,
+    )
+    stack.validate()
+    return stack
+
+
+def stacked_3d_stack(convection_k_per_w: float = DEFAULT_CONVECTION_K_PER_W) -> ThermalStack:
+    """Spreader / TIM / 4 thinned dies with F2F-B2B-F2F bonds / package.
+
+    Die 0 (top, nearest the sink) keeps substantial bulk for mechanical
+    support; lower dies are thinned to ~12 um (Section 4 cites current
+    technology thinning to 12 um).  Face-to-face interfaces cross 5 um;
+    the back-to-back interface crosses 20 um.
+    """
+    stack = ThermalStack(
+        name="stacked-3d",
+        layers=[
+            LayerSpec("spreader", COPPER, 1.0e-3),
+            LayerSpec("tim", TIM_ALLOY, 50e-6),
+            LayerSpec("die0", SILICON, 150e-6, power_die=0),
+            LayerSpec("bond01-f2f", D2D_BOND, 5e-6),
+            LayerSpec("die1", SILICON, 12e-6, power_die=1),
+            LayerSpec("bond12-b2b", D2D_BOND, 20e-6),
+            LayerSpec("die2", SILICON, 12e-6, power_die=2),
+            LayerSpec("bond23-f2f", D2D_BOND, 5e-6),
+            LayerSpec("die3", SILICON, 12e-6, power_die=3),
+            LayerSpec("package", PACKAGE, 500e-6),
+        ],
+        convection_k_per_w=convection_k_per_w,
+    )
+    stack.validate()
+    return stack

@@ -1,0 +1,132 @@
+"""Transient thermal solver (implicit Euler over the grid model).
+
+HotSpot offers both steady-state and transient analysis; the paper's
+results are steady state, but transient behaviour matters for herding's
+headroom claims (how fast a hotspot forms when activity migrates).  The
+transient solver reuses the steady solver's conductance matrix ``G`` and
+adds per-cell heat capacities ``C``:
+
+    C dT/dt = -G T + P(t)  ->  (C/dt + G) T_{n+1} = (C/dt) T_n + P_{n+1}
+
+Implicit Euler is unconditionally stable, so time steps can span
+milliseconds.  The step matrix is LU-factorized once per ``dt``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+from scipy.sparse import coo_matrix
+from scipy.sparse.linalg import factorized
+
+from repro.thermal.solver import ThermalSolver
+
+
+@dataclass
+class TransientResult:
+    """Temperature evolution over the integration window."""
+
+    times_s: List[float]
+    #: peak die temperature at each time step
+    peak_k: List[float]
+    #: final full per-layer temperature grids
+    final_layer_temps: List[np.ndarray]
+
+    @property
+    def final_peak(self) -> float:
+        return self.peak_k[-1] if self.peak_k else 0.0
+
+    def time_to_reach(self, threshold_k: float) -> Optional[float]:
+        """First time the peak crosses ``threshold_k`` (None if never)."""
+        for t, peak in zip(self.times_s, self.peak_k):
+            if peak >= threshold_k:
+                return t
+        return None
+
+
+class TransientThermalSolver:
+    """Implicit-Euler transient solver sharing a ThermalSolver's geometry."""
+
+    def __init__(self, steady: ThermalSolver, dt_s: float = 1e-3):
+        if dt_s <= 0:
+            raise ValueError(f"dt must be positive, got {dt_s}")
+        self.steady = steady
+        self.dt_s = dt_s
+        if steady._solve_fn is None:
+            steady._build()
+        self._capacity = self._cell_capacities()
+        n = len(self._capacity)
+        capacity_matrix = coo_matrix(
+            (self._capacity / dt_s, (range(n), range(n))), shape=(n, n)
+        ).tocsc()
+        self._step_solve = factorized(
+            (capacity_matrix + steady.conductance_matrix).tocsc()
+        )
+
+    def _cell_capacities(self) -> np.ndarray:
+        """Heat capacity (J/K) of every grid cell, layer by layer."""
+        nx, ny = self.steady.nx, self.steady.ny
+        dx = self.steady.spreader_w_mm * 1e-3 / nx
+        dy = self.steady.spreader_h_mm * 1e-3 / ny
+        caps = []
+        for layer in self.steady.stack.layers:
+            volume = dx * dy * layer.thickness_m
+            caps.append(np.full(ny * nx, layer.material.heat_capacity_j_m3k * volume))
+        return np.concatenate(caps)
+
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        power_fn: Callable[[float], Sequence[np.ndarray]],
+        duration_s: float,
+        initial_k: Optional[float] = None,
+    ) -> TransientResult:
+        """Integrate from a uniform initial temperature.
+
+        ``power_fn(t)`` returns the per-die chip power grids (at the
+        steady solver's :meth:`~ThermalSolver.chip_grid_shape`) at time t.
+        """
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        steady = self.steady
+        nx, ny = steady.nx, steady.ny
+        layers = steady.stack.layers
+        n = len(layers) * ny * nx
+        ambient = steady.stack.ambient_k
+        temps = np.full(n, initial_k if initial_k is not None else ambient)
+
+        die_layers = {
+            layer.power_die: index
+            for index, layer in enumerate(layers)
+            if layer.power_die is not None
+        }
+
+        times: List[float] = []
+        peaks: List[float] = []
+        steps = max(1, int(round(duration_s / self.dt_s)))
+        conv = steady._conv_per_cell
+        for step in range(1, steps + 1):
+            t = step * self.dt_s
+            grids = power_fn(t)
+            rhs = np.zeros(n)
+            for die, layer_index in die_layers.items():
+                full = steady._embed(np.asarray(grids[die]))
+                rhs[layer_index * ny * nx:(layer_index + 1) * ny * nx] += full.ravel()
+            rhs[: ny * nx] += conv * ambient
+            rhs += self._capacity / self.dt_s * temps
+            temps = self._step_solve(rhs)
+            times.append(t)
+            die_peak = max(
+                temps[l * ny * nx:(l + 1) * ny * nx].max()
+                for l in die_layers.values()
+            )
+            peaks.append(float(die_peak))
+
+        final = [
+            temps[l * ny * nx:(l + 1) * ny * nx].reshape(ny, nx)
+            for l in range(len(layers))
+        ]
+        return TransientResult(times_s=times, peak_k=peaks, final_layer_temps=final)

@@ -1,0 +1,359 @@
+"""Functional emulator: synthetic program -> committed-instruction trace.
+
+The emulator walks a :class:`~repro.workloads.program.SyntheticProgram`,
+maintaining a real architectural register file and a lazy data memory, and
+emits :class:`~repro.isa.instruction.TraceInstruction` records.  All value
+widths, address upper bits, and branch targets in the trace are therefore
+*computed*, which is what lets the Thermal Herding statistics emerge
+naturally downstream.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.isa.instruction import TraceInstruction
+from repro.isa.opcodes import OpClass
+from repro.isa.registers import TOTAL_REGS, STACK_POINTER_REG, ZERO_REG
+from repro.isa.trace import Trace
+from repro.isa.values import to_unsigned
+from repro.workloads.memory_model import (
+    AccessPattern,
+    MemoryModel,
+    STACK_BASE,
+    STACK_SIZE,
+    WORD_BYTES,
+)
+from repro.workloads.parameters import WorkloadParameters
+from repro.workloads.program import (
+    InstTemplate,
+    LeafFunction,
+    Loop,
+    SyntheticProgram,
+    ValueKind,
+    build_program,
+)
+
+_MASK64 = (1 << 64) - 1
+
+
+class Emulator:
+    """Walks a synthetic program and produces a trace."""
+
+    def __init__(self, program: SyntheticProgram, seed: int):
+        self._program = program
+        self._params = program.parameters
+        # Independent random streams: control flow, memory values, layout.
+        self._flow_rng = random.Random(seed ^ 0xC0FFEE)
+        mem_rng = random.Random(seed ^ 0xDA7A)
+        self._memory = MemoryModel(
+            value_dist=self._params.value_dist,
+            footprint_bytes=self._params.footprint_bytes,
+            rng=mem_rng,
+        )
+        self._regs: List[int] = [0] * TOTAL_REGS
+        self._regs[STACK_POINTER_REG] = STACK_BASE + STACK_SIZE // 2
+        # Initialize pointer registers into the heap so first uses are sane.
+        for reg in range(24, 30):
+            self._regs[reg] = self._memory.heap.align(mem_rng.randrange(0, self._params.footprint_bytes))
+        self._cursors: Dict[int, int] = {}
+        self._branch_counts: Dict[int, int] = {}
+        self._out: List[TraceInstruction] = []
+        self._limit = 0
+
+    def run(self, length: int) -> List[TraceInstruction]:
+        """Emit at least ``length`` instructions, then truncate to ``length``."""
+        if length <= 0:
+            raise ValueError(f"trace length must be positive, got {length}")
+        self._out = []
+        self._limit = length
+        loops = self._program.loops
+        loop_order = list(range(len(loops)))
+        previous: Optional[int] = None
+        while len(self._out) < length:
+            self._flow_rng.shuffle(loop_order)
+            for index in loop_order:
+                if previous is not None:
+                    # Keep the committed path sequential across loops.
+                    self._emit_exit_jump(loops[previous], loops[index].entry_pc)
+                    if len(self._out) >= length:
+                        break
+                self._run_loop(loops[index])
+                previous = index
+                if len(self._out) >= length:
+                    break
+        del self._out[length:]
+        return self._out
+
+    def _emit_exit_jump(self, loop, target: int) -> None:
+        assert loop.exit_jump is not None
+        self._out.append(
+            TraceInstruction(
+                pc=loop.exit_jump.pc,
+                op=OpClass.JUMP,
+                taken=True,
+                target=target,
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _run_loop(self, loop: Loop) -> None:
+        trips = 1 + self._geometric(loop.mean_trip_count)
+        for template in loop.preamble:
+            if len(self._out) >= self._limit:
+                return
+            self._execute(template)
+        for trip in range(trips):
+            if len(self._out) >= self._limit:
+                return
+            self._run_body(loop.body, loop.back_edge.pc)
+            last_trip = trip == trips - 1
+            self._emit_branch(loop.back_edge, taken=not last_trip, target=loop.start_pc)
+
+    def _run_body(self, body: List[InstTemplate], back_edge_pc: int) -> None:
+        i = 0
+        while i < len(body) and len(self._out) < self._limit:
+            template = body[i]
+            if template.op is OpClass.BRANCH and not template.is_back_edge:
+                taken = self._branch_outcome(template)
+                skip = template.skip_count if taken else 0
+                if taken:
+                    landing = i + skip + 1
+                    target = body[landing].pc if landing < len(body) else back_edge_pc
+                else:
+                    target = None
+                self._emit_branch(template, taken=taken, target=target)
+                i += skip + 1
+                continue
+            if template.op is OpClass.CALL:
+                assert template.callee is not None
+                self._run_call(template, self._program.leaves[template.callee])
+                i += 1
+                continue
+            self._execute(template)
+            i += 1
+
+    def _run_call(self, call: InstTemplate, leaf: LeafFunction) -> None:
+        self._out.append(
+            TraceInstruction(
+                pc=call.pc,
+                op=OpClass.CALL,
+                taken=True,
+                target=leaf.entry_pc,
+            )
+        )
+        for template in leaf.body:
+            if len(self._out) >= self._limit:
+                return
+            self._execute(template)
+        self._out.append(
+            TraceInstruction(
+                pc=leaf.ret.pc,
+                op=OpClass.RETURN,
+                taken=True,
+                target=call.pc + 4,
+            )
+        )
+
+    def _branch_outcome(self, template: InstTemplate) -> bool:
+        """Outcome of a forward conditional branch.
+
+        Periodic branches are taken except on the last occurrence of each
+        period (with a small noise probability); others are biased coins.
+        """
+        if template.pattern_period:
+            count = self._branch_counts.get(template.pc, 0)
+            self._branch_counts[template.pc] = count + 1
+            taken = (count % template.pattern_period) != template.pattern_period - 1
+            if self._flow_rng.random() < self._params.branch_noise:
+                taken = not taken
+            return taken
+        return self._flow_rng.random() < template.taken_bias
+
+    # ------------------------------------------------------------------ #
+
+    def _emit_branch(self, template: InstTemplate, taken: bool, target: int) -> None:
+        src_values = tuple(self._regs[s] for s in template.srcs)
+        self._out.append(
+            TraceInstruction(
+                pc=template.pc,
+                op=OpClass.BRANCH,
+                srcs=template.srcs,
+                src_values=src_values,
+                taken=taken,
+                target=target if taken else None,
+            )
+        )
+
+    def _execute(self, template: InstTemplate) -> None:
+        if template.op is OpClass.LOAD:
+            self._execute_load(template)
+        elif template.op is OpClass.STORE:
+            self._execute_store(template)
+        else:
+            self._execute_alu(template)
+
+    def _execute_alu(self, template: InstTemplate) -> None:
+        src_values = tuple(self._regs[s] for s in template.srcs)
+        result = self._compute(template, src_values)
+        if template.dst is not None and template.dst != ZERO_REG:
+            self._regs[template.dst] = result
+        self._out.append(
+            TraceInstruction(
+                pc=template.pc,
+                op=template.op,
+                srcs=template.srcs,
+                dst=template.dst,
+                result=result,
+                src_values=src_values,
+            )
+        )
+
+    def _compute(self, template: InstTemplate, src_values) -> int:
+        kind = template.value_kind
+        if kind is ValueKind.COUNTER or kind is ValueKind.STRIDE:
+            return (src_values[0] + max(template.immediate, 1)) & _MASK64
+        if kind is ValueKind.CONST_SMALL or kind is ValueKind.CONST_WIDE:
+            return to_unsigned(template.immediate)
+        if kind is ValueKind.ACCUM:
+            return (src_values[0] + src_values[1]) & _MASK64
+        if kind is ValueKind.LOGIC:
+            if template.pc & 4:
+                return src_values[0] ^ src_values[1]
+            return src_values[0] & src_values[1]
+        if kind is ValueKind.ADDR_UPDATE:
+            assert template.cursor_id is not None
+            return self._advance_cursor(template)
+        if kind is ValueKind.FP_OP:
+            # FP bit patterns: wide, but not on the integer datapath.
+            mixed = (src_values[0] * 0x9E3779B97F4A7C15 + src_values[1]) & _MASK64
+            return mixed | (0x3FF << 52)
+        return 0
+
+    # ------------------------------------------------------------------ #
+
+    def _advance_cursor(self, template: InstTemplate) -> int:
+        """Advance a memory cursor and return the new heap address."""
+        cursor_id = template.cursor_id
+        assert cursor_id is not None
+        heap = self._memory.heap
+        if template.pattern in (AccessPattern.SEQUENTIAL, AccessPattern.STRIDED):
+            # Each cursor walks a bounded stream buffer and wraps, modelling
+            # repeated traversal of frames/grids/arrays.
+            advance = self._cursors.get(cursor_id, 0)
+            advance += template.immediate or WORD_BYTES
+            self._cursors[cursor_id] = advance
+            stream = min(self._params.stream_bytes, heap.size)
+            base = (cursor_id * (stream // 2)) % max(heap.size - stream, 1)
+            return heap.align(base + advance % stream)
+        # RANDOM: temporal locality — most accesses land in one of a few
+        # shared hot subsets; the rest roam the full footprint.
+        params = self._params
+        if self._flow_rng.random() < params.hot_fraction:
+            hot = min(params.hot_bytes, heap.size)
+            base = (cursor_id % 4) * hot
+            return heap.align(base + self._flow_rng.randrange(0, hot))
+        return heap.align(self._flow_rng.randrange(0, heap.size))
+
+    def _effective_address(self, template: InstTemplate) -> int:
+        if template.pattern is AccessPattern.STACK:
+            offset = ((template.cursor_id or 0) * 16) % (STACK_SIZE // 4)
+            return self._regs[STACK_POINTER_REG] - offset & ~(WORD_BYTES - 1)
+        heap = self._memory.heap
+        pointer = self._regs[template.srcs[0]]
+        if template.pattern is AccessPattern.CHASE:
+            # Chases walk a bounded linked structure: small pools are
+            # revisited (cache resident) while mcf-scale pools stay memory
+            # bound.  The register usually holds a pool pointer already
+            # (see the chase-load successor rule); anything else is hashed
+            # into the pool.
+            pool = min(self._params.chase_pool_bytes, heap.size)
+            if heap.base <= pointer < heap.base + pool:
+                return pointer & ~(WORD_BYTES - 1)
+            mixed = (pointer * 0x9E3779B97F4A7C15) & _MASK64
+            return (heap.base + mixed % pool) & ~(WORD_BYTES - 1)
+        # Pointer register already holds a heap address (from ADDR_UPDATE);
+        # clamp it into the heap to stay valid.
+        if heap.contains(pointer):
+            return pointer & ~(WORD_BYTES - 1)
+        return heap.align(pointer)
+
+    def _execute_load(self, template: InstTemplate) -> None:
+        src_values = tuple(self._regs[s] for s in template.srcs)
+        addr = self._effective_address(template)
+        value = self._memory.read(addr)
+        result = value
+        if template.pattern is AccessPattern.CHASE:
+            # A chase node must hold a pointer to its successor.  When the
+            # materialized value is not a pool pointer, derive a stable
+            # successor from the node's own address (each node then has a
+            # distinct, stationary next-node — a real linked structure),
+            # and persist it.
+            heap = self._memory.heap
+            pool = min(self._params.chase_pool_bytes, heap.size)
+            if not (heap.base <= value < heap.base + pool):
+                mixed = (addr * 0x9E3779B97F4A7C15) & _MASK64
+                result = (heap.base + mixed % pool) & ~(WORD_BYTES - 1)
+                self._memory.write(addr, result)
+                value = result
+        if template.dst is not None and template.dst != ZERO_REG:
+            self._regs[template.dst] = result
+        self._out.append(
+            TraceInstruction(
+                pc=template.pc,
+                op=OpClass.LOAD,
+                srcs=template.srcs,
+                dst=template.dst,
+                result=result,
+                src_values=src_values,
+                mem_addr=addr,
+                mem_value=value,
+            )
+        )
+
+    def _execute_store(self, template: InstTemplate) -> None:
+        src_values = tuple(self._regs[s] for s in template.srcs)
+        addr = self._effective_address(template)
+        value = src_values[1] if len(src_values) > 1 else 0
+        self._memory.write(addr, value)
+        self._out.append(
+            TraceInstruction(
+                pc=template.pc,
+                op=OpClass.STORE,
+                srcs=template.srcs,
+                src_values=src_values,
+                mem_addr=addr,
+                mem_value=value,
+            )
+        )
+
+    def _geometric(self, mean: float) -> int:
+        """Geometric sample with the given mean (>= 0)."""
+        if mean <= 1.0:
+            return 0
+        p = 1.0 / mean
+        count = 0
+        while self._flow_rng.random() > p and count < 10_000:
+            count += 1
+        return count
+
+
+def generate_trace(
+    name: str,
+    params: WorkloadParameters,
+    length: int,
+    seed: int,
+    benchmark_class: str = "unknown",
+) -> Trace:
+    """Build a program from ``params``/``seed`` and emulate ``length`` insts."""
+    program = build_program(params, seed)
+    emulator = Emulator(program, seed)
+    instructions = emulator.run(length)
+    return Trace(
+        name=name,
+        instructions=instructions,
+        benchmark_class=benchmark_class,
+        seed=seed,
+    )

@@ -1,0 +1,140 @@
+"""Functional data-memory model for the workload emulator.
+
+Addresses live in three regions with realistic upper-bit structure:
+
+* ``stack``  — high canonical addresses (``0x7FFF_FFFF_xxxx``); all stack
+  accesses share the same upper 48 bits, which feeds the partial address
+  memoization (PAM) statistics of Section 3.5.
+* ``heap``   — a mid-range region sized by the workload footprint.
+* ``global`` — a small low region for program globals.
+
+Values are materialized lazily on first read, drawn from the per-class
+data-value distribution, so the 2-bit L1D partial-value encoding (Section
+3.6) sees the zero / all-ones / near-pointer / wide mix the paper relies
+on.  Values written by the program persist and are returned verbatim on
+subsequent reads.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.isa.values import to_unsigned, upper_bits
+
+#: Access granularity: 8-byte words.
+WORD_BYTES = 8
+
+STACK_BASE = 0x7FFF_FFFF_0000
+STACK_SIZE = 64 << 10
+HEAP_BASE = 0x2AAA_0000_0000
+GLOBAL_BASE = 0x0000_0060_0000
+GLOBAL_SIZE = 128 << 10
+
+
+class AccessPattern(enum.Enum):
+    """How a static memory instruction walks its region."""
+
+    STACK = "stack"         # small sp-relative offsets
+    SEQUENTIAL = "seq"      # unit-stride walk of the footprint
+    STRIDED = "strided"     # cacheline-skipping stride
+    RANDOM = "random"       # uniform over the footprint
+    CHASE = "chase"         # address comes from the previously loaded value
+
+
+@dataclass(frozen=True)
+class Region:
+    """A contiguous address region."""
+
+    name: str
+    base: int
+    size: int
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.base + self.size
+
+    def align(self, offset: int) -> int:
+        """Word-aligned address at ``offset`` bytes into the region (wraps)."""
+        return self.base + (offset % self.size) // WORD_BYTES * WORD_BYTES
+
+
+class MemoryModel:
+    """Lazy-initializing word-granular data memory.
+
+    Parameters
+    ----------
+    value_dist:
+        Probability weights for the value kinds ``zero``, ``small_pos``,
+        ``small_neg``, ``near_pointer`` and ``wide`` used to materialize
+        never-written words.
+    footprint_bytes:
+        Heap region size.
+    rng:
+        Dedicated random stream (determinism: one stream per concern).
+    """
+
+    def __init__(self, value_dist: Dict[str, float], footprint_bytes: int, rng: random.Random):
+        self._rng = rng
+        self._storage: Dict[int, int] = {}
+        #: value kind per 4 KB page — real data structures are homogeneous
+        #: (an array of doubles is uniformly wide), which is what makes
+        #: per-PC width prediction work.
+        self._page_kinds: Dict[int, str] = {}
+        self._kind_seed = rng.getrandbits(32)
+        kinds = ["zero", "small_pos", "small_neg", "near_pointer", "wide"]
+        self._kinds = kinds
+        self._weights = [max(value_dist.get(k, 0.0), 0.0) for k in kinds]
+        if sum(self._weights) <= 0:
+            raise ValueError("value_dist must contain at least one positive weight")
+        self.stack = Region("stack", STACK_BASE, STACK_SIZE)
+        self.heap = Region("heap", HEAP_BASE, max(footprint_bytes, WORD_BYTES * 16))
+        self.globals = Region("global", GLOBAL_BASE, GLOBAL_SIZE)
+
+    def read(self, addr: int) -> int:
+        """Read the 64-bit word at ``addr``, materializing it if untouched."""
+        addr = self._align(addr)
+        value = self._storage.get(addr)
+        if value is None:
+            value = self._materialize(addr)
+            self._storage[addr] = value
+        return value
+
+    def write(self, addr: int, value: int) -> None:
+        """Write the 64-bit word at ``addr``."""
+        self._storage[self._align(addr)] = to_unsigned(value)
+
+    def touched_words(self) -> int:
+        """Number of distinct words read or written so far."""
+        return len(self._storage)
+
+    @staticmethod
+    def _align(addr: int) -> int:
+        return addr & ~(WORD_BYTES - 1)
+
+    def _page_kind(self, addr: int) -> str:
+        """The (sticky, deterministic) value kind of the page holding addr."""
+        page = addr >> 12
+        kind = self._page_kinds.get(page)
+        if kind is None:
+            page_rng = random.Random((page * 0x9E3779B1) ^ self._kind_seed)
+            kind = page_rng.choices(self._kinds, weights=self._weights, k=1)[0]
+            self._page_kinds[page] = kind
+        return kind
+
+    def _materialize(self, addr: int) -> int:
+        kind = self._page_kind(addr)
+        if kind == "zero":
+            return 0
+        if kind == "small_pos":
+            return self._rng.randrange(1, 1 << 15)
+        if kind == "small_neg":
+            return to_unsigned(-self._rng.randrange(1, 1 << 15))
+        if kind == "near_pointer":
+            # A pointer to a nearby object: same upper 48 bits as the
+            # holding address (the heap-data-structure case of Section 3.6).
+            upper = upper_bits(addr) << 16
+            return upper | self._rng.randrange(0, 1 << 16) & ~0x7
+        # wide: a 64-bit value with populated upper bits
+        return self._rng.getrandbits(64) | (1 << 48)

@@ -1,0 +1,470 @@
+"""Synthetic static program builder.
+
+A synthetic program is a set of loops plus a pool of small leaf functions,
+with fixed PCs, fixed register assignments, and per-instruction *value
+kinds* that tell the emulator how to compute real 64-bit results.  Because
+the static structure is fixed, dynamic re-execution of the same PCs gives
+the branch predictor, BTB, and width predictor realistic learnable
+behaviour — the properties the paper measures (97 % width prediction
+accuracy, near branch targets, PAM address locality) emerge rather than
+being injected.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.isa.opcodes import OpClass
+from repro.isa.registers import NUM_FP_REGS, FP_REG_BASE, STACK_POINTER_REG
+from repro.workloads.memory_model import AccessPattern
+from repro.workloads.parameters import WorkloadParameters
+
+#: Main code region (all loops and near leaf functions live here).
+CODE_BASE = 0x0000_0040_0000
+#: Far code region with different upper 48 PC bits (library-call stand-in);
+#: taken transfers landing here defeat the BTB target memoization bit.
+FAR_CODE_BASE = 0x7F00_0000_0000
+INST_BYTES = 4
+
+
+class ValueKind(enum.Enum):
+    """How the emulator computes an instruction's result value."""
+
+    COUNTER = "counter"          # dst = dst + 1 (reset at loop entry) — narrow
+    STRIDE = "stride"            # dst = dst + small stride — narrow
+    CONST_SMALL = "const_small"  # dst = fixed |imm| < 2^15 — narrow
+    CONST_WIDE = "const_wide"    # dst = fixed 64-bit immediate — wide
+    ACCUM = "accum"              # dst = dst + src — usually narrow
+    LOGIC = "logic"              # dst = src1 op src2 — width follows inputs
+    ADDR_UPDATE = "addr_update"  # dst = next address of a memory cursor — wide
+    FP_OP = "fp_op"              # floating point; not on the int datapath
+
+
+@dataclass
+class InstTemplate:
+    """One static instruction."""
+
+    pc: int
+    op: OpClass
+    value_kind: Optional[ValueKind] = None
+    dst: Optional[int] = None
+    srcs: Tuple[int, ...] = ()
+    #: fixed immediate for CONST_* kinds; stride for STRIDE/ADDR_UPDATE
+    immediate: int = 0
+    #: memory instructions: access pattern and cursor identity
+    pattern: Optional[AccessPattern] = None
+    cursor_id: Optional[int] = None
+    #: branches: probability of being taken; back edges are handled by
+    #: trip counts instead
+    taken_bias: float = 0.5
+    #: branches: period of a deterministic pattern (0 = biased coin);
+    #: the branch is taken except on the last occurrence of each period
+    pattern_period: int = 0
+    is_back_edge: bool = False
+    #: forward branches: number of following templates skipped when taken
+    skip_count: int = 0
+    #: calls: index of the callee leaf function
+    callee: Optional[int] = None
+
+
+@dataclass
+class Loop:
+    """A loop: preamble (run once per entry), body, back edge, exit jump.
+
+    The preamble initializes the loop's counter/stride registers with
+    real instructions so the committed trace's dataflow is exact; the
+    exit jump transfers control to whatever loop runs next, keeping the
+    committed path sequential (``inst.next_pc == next inst.pc``).
+    """
+
+    start_pc: int
+    body: List[InstTemplate]
+    back_edge: InstTemplate
+    mean_trip_count: float
+    preamble: List[InstTemplate] = field(default_factory=list)
+    exit_jump: Optional[InstTemplate] = None
+
+    @property
+    def entry_pc(self) -> int:
+        return self.preamble[0].pc if self.preamble else self.body[0].pc
+
+
+@dataclass
+class LeafFunction:
+    """A small straight-line callee ending in a return."""
+
+    entry_pc: int
+    body: List[InstTemplate]
+    ret: InstTemplate
+    far: bool = False
+
+
+@dataclass
+class SyntheticProgram:
+    """The complete static program."""
+
+    loops: List[Loop]
+    leaves: List[LeafFunction]
+    parameters: WorkloadParameters
+    #: total number of memory cursors allocated (emulator state size)
+    cursor_count: int = 0
+
+    def static_instruction_count(self) -> int:
+        count = sum(
+            len(loop.preamble) + len(loop.body) + 2  # back edge + exit jump
+            for loop in self.loops
+        )
+        count += sum(len(leaf.body) + 1 for leaf in self.leaves)
+        return count
+
+
+class _Builder:
+    """Stateful helper that lays out PCs and allocates registers/cursors."""
+
+    def __init__(self, params: WorkloadParameters, rng: random.Random):
+        self.params = params
+        self.rng = rng
+        self.next_pc = CODE_BASE
+        self.next_far_pc = FAR_CODE_BASE
+        self.cursor_count = 0
+
+    def take_pc(self, far: bool = False) -> int:
+        if far:
+            pc = self.next_far_pc
+            self.next_far_pc += INST_BYTES
+        else:
+            pc = self.next_pc
+            self.next_pc += INST_BYTES
+        return pc
+
+    def take_cursor(self) -> int:
+        cursor = self.cursor_count
+        self.cursor_count += 1
+        return cursor
+
+
+def build_program(params: WorkloadParameters, seed: int) -> SyntheticProgram:
+    """Construct a synthetic program from class parameters and a seed."""
+    rng = random.Random(seed)
+    builder = _Builder(params, rng)
+
+    leaves = _build_leaves(builder)
+    loops = [_build_loop(builder, leaves) for _ in range(params.loop_count)]
+    return SyntheticProgram(
+        loops=loops,
+        leaves=leaves,
+        parameters=params,
+        cursor_count=builder.cursor_count,
+    )
+
+
+def _build_leaves(builder: _Builder) -> List[LeafFunction]:
+    """A pool of leaf functions; a few live in the far code region."""
+    rng = builder.rng
+    leaves = []
+    leaf_count = max(3, builder.params.loop_count // 2)
+    for i in range(leaf_count):
+        far = rng.random() < builder.params.far_target_fraction * 4
+        body: List[InstTemplate] = []
+        size = rng.randrange(3, 8)
+        # Leaf bodies are simple narrow arithmetic on callee-saved regs.
+        for _ in range(size):
+            pc = builder.take_pc(far=far)
+            dst = rng.randrange(0, 8)
+            body.append(
+                InstTemplate(
+                    pc=pc,
+                    op=OpClass.IALU,
+                    value_kind=ValueKind.CONST_SMALL,
+                    dst=dst,
+                    immediate=rng.randrange(1, 1 << 12),
+                )
+            )
+        ret = InstTemplate(pc=builder.take_pc(far=far), op=OpClass.RETURN, taken_bias=1.0)
+        leaves.append(LeafFunction(entry_pc=body[0].pc, body=body, ret=ret, far=far))
+    return leaves
+
+
+def _pick_int_op(builder: _Builder) -> OpClass:
+    r = builder.rng.random()
+    if r < builder.params.mul_share:
+        return OpClass.IMUL
+    if r < builder.params.mul_share + builder.params.shift_share:
+        return OpClass.ISHIFT
+    return OpClass.IALU
+
+
+def _pick_fp_op(builder: _Builder) -> OpClass:
+    r = builder.rng.random()
+    if r < builder.params.fp_add_share:
+        return OpClass.FADD
+    if r < builder.params.fp_add_share + builder.params.fp_mul_share:
+        return OpClass.FMUL
+    return OpClass.FDIV
+
+
+def _pick_value_kind(builder: _Builder) -> ValueKind:
+    p = builder.params
+    kinds = [ValueKind.COUNTER, ValueKind.ACCUM, ValueKind.ADDR_UPDATE, ValueKind.CONST_WIDE]
+    weights = [p.narrow_value_weight, p.accum_value_weight, p.pointer_value_weight, p.wide_value_weight]
+    kind = builder.rng.choices(kinds, weights=weights, k=1)[0]
+    if kind is ValueKind.COUNTER and builder.rng.random() < 0.5:
+        kind = ValueKind.CONST_SMALL if builder.rng.random() < 0.5 else ValueKind.STRIDE
+    if kind is ValueKind.ACCUM and builder.rng.random() < 0.4:
+        kind = ValueKind.LOGIC
+    return kind
+
+
+def _pick_pattern(builder: _Builder) -> AccessPattern:
+    p = builder.params
+    r = builder.rng.random()
+    if r < p.stack_access_fraction:
+        return AccessPattern.STACK
+    r = builder.rng.random()
+    if r < p.chase_fraction:
+        return AccessPattern.CHASE
+    r = builder.rng.random()
+    if r < p.sequential_fraction:
+        return AccessPattern.SEQUENTIAL
+    return AccessPattern.STRIDED if builder.rng.random() < 0.25 else AccessPattern.RANDOM
+
+
+def _build_loop(builder: _Builder, leaves: List[LeafFunction]) -> Loop:
+    """Build one loop body.
+
+    Register convention inside a loop: a window of integer registers
+    [0, 24) is used for produced values (cyclically), register 24-29 hold
+    loop-carried pointers, STACK_POINTER_REG holds the stack pointer.
+    """
+    rng = builder.rng
+    p = builder.params
+    body: List[InstTemplate] = []
+    size = max(6, int(rng.gauss(p.body_size, p.body_size / 4)))
+    reg_cycle = 0
+    recent_dsts: List[int] = [0, 1]
+
+    def next_dst() -> int:
+        nonlocal reg_cycle
+        dst = reg_cycle % 24
+        reg_cycle += 1
+        recent_dsts.append(dst)
+        if len(recent_dsts) > 8:
+            recent_dsts.pop(0)
+        return dst
+
+    def pick_src() -> int:
+        return rng.choice(recent_dsts)
+
+    emitted = 0
+    while emitted < size:
+        r = rng.random()
+        if r < p.load_fraction:
+            emitted += _emit_memory(builder, body, OpClass.LOAD, next_dst, pick_src)
+        elif r < p.load_fraction + p.store_fraction:
+            emitted += _emit_memory(builder, body, OpClass.STORE, next_dst, pick_src)
+        elif r < p.load_fraction + p.store_fraction + p.branch_fraction:
+            # Forward conditional branch skipping 1-3 templates; the actual
+            # skip distance is clamped after layout.  Regular branches are
+            # either periodic (learnable by two-level predictors) or a
+            # biased coin; hard branches are essentially random.
+            hard = rng.random() < p.hard_branch_fraction
+            period = 0
+            if hard:
+                bias = 0.5 + rng.uniform(-0.06, 0.06)
+            elif rng.random() < p.periodic_branch_fraction:
+                bias = p.branch_bias
+                period = rng.randrange(2, 10)
+            else:
+                bias = p.branch_bias + rng.uniform(-0.08, 0.08)
+            body.append(
+                InstTemplate(
+                    pc=builder.take_pc(),
+                    op=OpClass.BRANCH,
+                    srcs=(pick_src(),),
+                    taken_bias=min(max(bias, 0.02), 0.98),
+                    pattern_period=period,
+                    skip_count=rng.randrange(1, 4),
+                )
+            )
+            emitted += 1
+        elif r < p.load_fraction + p.store_fraction + p.branch_fraction + p.call_fraction:
+            callee = rng.randrange(len(leaves))
+            body.append(
+                InstTemplate(
+                    pc=builder.take_pc(),
+                    op=OpClass.CALL,
+                    taken_bias=1.0,
+                    callee=callee,
+                )
+            )
+            emitted += 1
+        elif rng.random() < p.fp_fraction:
+            fp_dst = FP_REG_BASE + rng.randrange(NUM_FP_REGS)
+            fp_srcs = (
+                FP_REG_BASE + rng.randrange(NUM_FP_REGS),
+                FP_REG_BASE + rng.randrange(NUM_FP_REGS),
+            )
+            body.append(
+                InstTemplate(
+                    pc=builder.take_pc(),
+                    op=_pick_fp_op(builder),
+                    value_kind=ValueKind.FP_OP,
+                    dst=fp_dst,
+                    srcs=fp_srcs,
+                )
+            )
+            emitted += 1
+        else:
+            kind = _pick_value_kind(builder)
+            dst = next_dst()
+            srcs: Tuple[int, ...] = ()
+            immediate = 0
+            if kind is ValueKind.ACCUM:
+                srcs = (dst, pick_src())
+            elif kind is ValueKind.LOGIC:
+                srcs = (pick_src(), pick_src())
+            elif kind is ValueKind.STRIDE:
+                srcs = (dst,)
+                immediate = rng.randrange(1, 64)
+            elif kind is ValueKind.COUNTER:
+                srcs = (dst,)
+                immediate = 1
+            elif kind is ValueKind.CONST_SMALL:
+                immediate = rng.randrange(0, 1 << 14)
+            elif kind is ValueKind.CONST_WIDE:
+                immediate = rng.getrandbits(64) | (1 << 50)
+            elif kind is ValueKind.ADDR_UPDATE:
+                # A standalone pointer computation not tied to a memory op.
+                immediate = rng.choice([8, 16, 64])
+            body.append(
+                InstTemplate(
+                    pc=builder.take_pc(),
+                    op=_pick_int_op(builder),
+                    value_kind=kind,
+                    dst=dst,
+                    srcs=srcs,
+                    immediate=immediate,
+                    pattern=AccessPattern.RANDOM if kind is ValueKind.ADDR_UPDATE else None,
+                    cursor_id=builder.take_cursor() if kind is ValueKind.ADDR_UPDATE else None,
+                )
+            )
+            emitted += 1
+
+    # Clamp forward-branch skip counts so they never skip past the body end.
+    for i, template in enumerate(body):
+        if template.op is OpClass.BRANCH and template.skip_count:
+            template.skip_count = min(template.skip_count, len(body) - 1 - i)
+
+    back_edge = InstTemplate(
+        pc=builder.take_pc(),
+        op=OpClass.BRANCH,
+        srcs=(0,),
+        is_back_edge=True,
+        taken_bias=1.0,
+    )
+
+    # Preamble: real initialization instructions for the loop-carried
+    # counter/stride registers (one per distinct register).
+    preamble: List[InstTemplate] = []
+    seen_resets = set()
+    for template in body:
+        if template.value_kind in (ValueKind.COUNTER, ValueKind.STRIDE) \
+                and template.dst is not None and template.dst not in seen_resets:
+            seen_resets.add(template.dst)
+            init = 0 if template.value_kind is ValueKind.COUNTER else rng.randrange(0, 256)
+            preamble.append(
+                InstTemplate(
+                    pc=builder.take_pc(),
+                    op=OpClass.IALU,
+                    value_kind=ValueKind.CONST_SMALL,
+                    dst=template.dst,
+                    immediate=init,
+                )
+            )
+    exit_jump = InstTemplate(pc=builder.take_pc(), op=OpClass.JUMP, taken_bias=1.0)
+
+    # Re-sequence PCs so memory order is preamble -> body -> back edge ->
+    # exit jump (the allocated PC set is unchanged, only permuted).
+    ordered = preamble + body + [back_edge, exit_jump]
+    for template, pc in zip(ordered, sorted(t.pc for t in ordered)):
+        template.pc = pc
+
+    mean_trips = max(2.0, rng.gauss(p.mean_trip_count, p.mean_trip_count / 3))
+    return Loop(
+        start_pc=body[0].pc,
+        body=body,
+        back_edge=back_edge,
+        mean_trip_count=mean_trips,
+        preamble=preamble,
+        exit_jump=exit_jump,
+    )
+
+
+def _emit_memory(builder, body, op, next_dst, pick_src) -> int:
+    """Emit an address-update + memory-op pair (or a single chase load)."""
+    rng = builder.rng
+    pattern = _pick_pattern(builder)
+    cursor = builder.take_cursor()
+    pointer_reg = 24 + rng.randrange(6) if pattern is not AccessPattern.STACK else STACK_POINTER_REG
+
+    count = 0
+    if pattern is AccessPattern.CHASE and op is OpClass.LOAD:
+        # Pointer chase: the load's own result becomes the next address.
+        body.append(
+            InstTemplate(
+                pc=builder.take_pc(),
+                op=op,
+                dst=pointer_reg,
+                srcs=(pointer_reg,),
+                pattern=pattern,
+                cursor_id=cursor,
+            )
+        )
+        return 1
+
+    if pattern is not AccessPattern.STACK:
+        stride = {
+            AccessPattern.SEQUENTIAL: 8,
+            AccessPattern.STRIDED: builder.params.stride_bytes,
+            AccessPattern.RANDOM: 0,
+            AccessPattern.CHASE: 0,
+        }[pattern]
+        body.append(
+            InstTemplate(
+                pc=builder.take_pc(),
+                op=OpClass.IALU,
+                value_kind=ValueKind.ADDR_UPDATE,
+                dst=pointer_reg,
+                srcs=(pointer_reg,),
+                immediate=stride,
+                pattern=pattern,
+                cursor_id=cursor,
+            )
+        )
+        count += 1
+
+    if op is OpClass.LOAD:
+        body.append(
+            InstTemplate(
+                pc=builder.take_pc(),
+                op=op,
+                dst=next_dst(),
+                srcs=(pointer_reg,),
+                pattern=pattern,
+                cursor_id=cursor,
+            )
+        )
+    else:
+        body.append(
+            InstTemplate(
+                pc=builder.take_pc(),
+                op=op,
+                srcs=(pointer_reg, pick_src()),
+                pattern=pattern,
+                cursor_id=cursor,
+            )
+        )
+    return count + 1

@@ -1,0 +1,109 @@
+"""Workload characterization validation.
+
+The benchmark classes only stand in for the paper's suites if their
+emergent statistics stay inside the bands the evaluation depends on
+(value widths, memory intensity, branch behaviour).  This module encodes
+those bands and checks generated traces against them — used by the test
+suite and available to users tuning their own workload parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.trace import Trace, TraceStats
+from repro.workloads.parameters import BenchmarkClass
+
+Band = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class ClassExpectations:
+    """Statistic bands one benchmark class must stay inside."""
+
+    low_width_results: Band
+    memory_fraction: Band
+    branch_fraction: Band
+    near_targets: Band = (0.80, 1.0)
+
+    def check(self, stats: TraceStats) -> List[str]:
+        """Violations (empty when the trace fits the class)."""
+        violations = []
+
+        def verify(label: str, value: float, band: Band) -> None:
+            low, high = band
+            if not low <= value <= high:
+                violations.append(
+                    f"{label} = {value:.3f} outside [{low:.2f}, {high:.2f}]"
+                )
+
+        verify("low_width_results", stats.low_width_result_fraction,
+               self.low_width_results)
+        verify("memory_fraction", stats.memory_fraction, self.memory_fraction)
+        verify("branch_fraction", stats.branch_fraction, self.branch_fraction)
+        verify("near_targets", stats.near_target_fraction, self.near_targets)
+        return violations
+
+
+#: Expected statistic bands per class — wide enough for seed variance,
+#: tight enough to catch regressions in the generator.
+CLASS_EXPECTATIONS: Dict[BenchmarkClass, ClassExpectations] = {
+    BenchmarkClass.SPECINT: ClassExpectations(
+        low_width_results=(0.35, 0.85),
+        memory_fraction=(0.15, 0.50),
+        branch_fraction=(0.05, 0.30),
+    ),
+    BenchmarkClass.SPECFP: ClassExpectations(
+        low_width_results=(0.08, 0.70),
+        memory_fraction=(0.20, 0.55),
+        branch_fraction=(0.02, 0.20),
+    ),
+    BenchmarkClass.MEDIABENCH: ClassExpectations(
+        low_width_results=(0.45, 0.95),
+        memory_fraction=(0.10, 0.45),
+        branch_fraction=(0.02, 0.25),
+    ),
+    BenchmarkClass.MIBENCH: ClassExpectations(
+        low_width_results=(0.50, 0.95),
+        memory_fraction=(0.10, 0.45),
+        branch_fraction=(0.03, 0.30),
+    ),
+    BenchmarkClass.POINTER: ClassExpectations(
+        low_width_results=(0.15, 0.65),
+        memory_fraction=(0.18, 0.55),
+        branch_fraction=(0.05, 0.35),
+    ),
+    BenchmarkClass.BIO: ClassExpectations(
+        low_width_results=(0.45, 0.90),
+        memory_fraction=(0.12, 0.50),
+        branch_fraction=(0.04, 0.32),
+    ),
+}
+
+
+def validate_trace(
+    trace: Trace,
+    expectations: Optional[ClassExpectations] = None,
+) -> List[str]:
+    """Check a trace against its class's bands; returns violations."""
+    if expectations is None:
+        try:
+            klass = BenchmarkClass(trace.benchmark_class)
+        except ValueError:
+            raise ValueError(
+                f"trace class {trace.benchmark_class!r} is not a known suite; "
+                f"pass expectations explicitly"
+            )
+        expectations = CLASS_EXPECTATIONS[klass]
+    return expectations.check(trace.stats())
+
+
+def validate_suite(traces: List[Trace]) -> Dict[str, List[str]]:
+    """Validate many traces; returns {trace name: violations} (non-empty only)."""
+    report: Dict[str, List[str]] = {}
+    for trace in traces:
+        violations = validate_trace(trace)
+        if violations:
+            report[trace.name] = violations
+    return report

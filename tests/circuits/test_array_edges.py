@@ -1,0 +1,58 @@
+"""Edge-case tests for the SRAM array model's banking and modes."""
+
+import pytest
+
+from repro.circuits.arrays import ArrayModel, PartitionMode
+
+
+class TestBanking:
+    def test_huge_array_banks(self):
+        """A 4MB-class array must split into subarrays (bounded wordlines)."""
+        big = ArrayModel("big", entries=65536, bits_per_entry=512, assoc=16)
+        small = ArrayModel("small", entries=256, bits_per_entry=512)
+        # Latency grows sublinearly thanks to banking.
+        ratio = (big.evaluate(PartitionMode.PLANAR).latency_ps
+                 / small.evaluate(PartitionMode.PLANAR).latency_ps)
+        assert ratio < 256 / 4  # far below linear scaling
+
+    def test_single_entry_array(self):
+        tiny = ArrayModel("tiny", entries=1, bits_per_entry=8)
+        timing = tiny.evaluate(PartitionMode.PLANAR)
+        assert timing.latency_ps > 0
+        assert timing.energy_full_pj > 0
+
+    def test_entry_stacked_on_tiny_array_clamps(self):
+        tiny = ArrayModel("tiny", entries=2, bits_per_entry=8, dies=4)
+        timing = tiny.evaluate(PartitionMode.ENTRY_STACKED)
+        assert timing.latency_ps > 0
+
+    def test_word_partition_of_narrow_entry(self):
+        narrow = ArrayModel("narrow", entries=64, bits_per_entry=2, dies=4)
+        timing = narrow.evaluate(PartitionMode.WORD_PARTITIONED)
+        assert timing.energy_full_pj > 0
+
+
+class TestModeRelationships:
+    @pytest.fixture(scope="class")
+    def rf(self):
+        return ArrayModel("rf", entries=96, bits_per_entry=64,
+                          read_ports=8, write_ports=4)
+
+    def test_entry_stacked_fastest_for_tall_arrays(self):
+        tall = ArrayModel("tall", entries=1024, bits_per_entry=32)
+        entry = tall.evaluate(PartitionMode.ENTRY_STACKED).latency_ps
+        word = tall.evaluate(PartitionMode.WORD_PARTITIONED).latency_ps
+        assert entry < word
+
+    def test_word_partition_best_gating_energy(self, rf):
+        word = rf.evaluate(PartitionMode.WORD_PARTITIONED)
+        entry = rf.evaluate(PartitionMode.ENTRY_STACKED)
+        assert (word.energy_top_pj / word.energy_full_pj
+                < entry.energy_top_pj / entry.energy_full_pj)
+
+    def test_area_independent_of_mode(self, rf):
+        """Total silicon is mode-independent (same cells, folded)."""
+        planar = rf.evaluate(PartitionMode.PLANAR).area_mm2
+        for mode in (PartitionMode.WORD_PARTITIONED, PartitionMode.ENTRY_STACKED):
+            stacked = rf.evaluate(mode).area_mm2
+            assert stacked == pytest.approx(planar, rel=0.35)

@@ -1,0 +1,113 @@
+"""Tests for the SRAM array model and its 3D partitioning modes."""
+
+import pytest
+
+from repro.circuits.arrays import ArrayModel, PartitionMode
+
+
+def rf_array(**kwargs):
+    defaults = dict(name="rf", entries=96, bits_per_entry=64,
+                    read_ports=8, write_ports=4)
+    defaults.update(kwargs)
+    return ArrayModel(**defaults)
+
+
+def cache_array(**kwargs):
+    defaults = dict(name="cache", entries=512, bits_per_entry=512, assoc=8)
+    defaults.update(kwargs)
+    return ArrayModel(**defaults)
+
+
+class TestValidation:
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            ArrayModel("bad", entries=0, bits_per_entry=8)
+
+    def test_rejects_zero_dies(self):
+        with pytest.raises(ValueError):
+            ArrayModel("bad", entries=8, bits_per_entry=8, dies=0)
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            rf_array().evaluate("bogus")
+
+
+class TestLatency:
+    @pytest.mark.parametrize("mode", [
+        PartitionMode.WORD_PARTITIONED,
+        PartitionMode.ENTRY_STACKED,
+        PartitionMode.FOLDED,
+    ])
+    def test_3d_is_faster(self, mode):
+        array = cache_array()
+        planar = array.evaluate(PartitionMode.PLANAR)
+        stacked = array.evaluate(mode)
+        assert stacked.latency_ps < planar.latency_ps
+
+    def test_single_die_degenerates_to_planar(self):
+        array = rf_array(dies=1)
+        planar = array.evaluate(PartitionMode.PLANAR)
+        stacked = array.evaluate(PartitionMode.WORD_PARTITIONED)
+        assert stacked.latency_ps == planar.latency_ps
+        assert stacked.energy_full_pj == planar.energy_full_pj
+
+    def test_bigger_arrays_gain_more(self):
+        """Large arrays benefit more from 3D (paper Section 5.1.1)."""
+        small = ArrayModel("s", entries=128, bits_per_entry=64)
+        large = ArrayModel("l", entries=65536, bits_per_entry=512, assoc=16)
+        gain = lambda a: 1 - (a.evaluate(PartitionMode.FOLDED).latency_ps
+                              / a.evaluate(PartitionMode.PLANAR).latency_ps)
+        assert gain(large) > gain(small)
+
+    def test_latency_positive(self):
+        for mode in PartitionMode:
+            assert rf_array().evaluate(mode).latency_ps > 0
+
+
+class TestEnergy:
+    def test_top_only_cheaper_for_word_partitioned(self):
+        timing = rf_array().evaluate(PartitionMode.WORD_PARTITIONED)
+        assert timing.energy_top_pj < timing.energy_full_pj
+
+    def test_top_only_ratio_near_quarter(self):
+        """Gating 3 of 4 dies should save very roughly 75% of the access."""
+        timing = rf_array().evaluate(PartitionMode.WORD_PARTITIONED)
+        ratio = timing.energy_top_pj / timing.energy_full_pj
+        assert 0.10 < ratio < 0.55
+
+    def test_entry_stacked_saves_energy(self):
+        array = ArrayModel("tlb", entries=256, bits_per_entry=64, assoc=4)
+        planar = array.evaluate(PartitionMode.PLANAR)
+        stacked = array.evaluate(PartitionMode.ENTRY_STACKED)
+        assert stacked.energy_full_pj < planar.energy_full_pj
+
+    def test_folded_saves_energy(self):
+        array = cache_array()
+        planar = array.evaluate(PartitionMode.PLANAR)
+        stacked = array.evaluate(PartitionMode.FOLDED)
+        assert stacked.energy_full_pj < planar.energy_full_pj
+
+    def test_word_partitioned_full_access_close_to_planar(self):
+        """A full-width access reads the same cells; only routing saves."""
+        timing3d = rf_array().evaluate(PartitionMode.WORD_PARTITIONED)
+        timing2d = rf_array().evaluate(PartitionMode.PLANAR)
+        assert 0.5 < timing3d.energy_full_pj / timing2d.energy_full_pj <= 1.05
+
+    def test_energies_positive(self):
+        for mode in PartitionMode:
+            timing = cache_array().evaluate(mode)
+            assert timing.energy_full_pj > 0
+            assert timing.energy_top_pj > 0
+
+
+class TestGeometry:
+    def test_footprint_folds_by_die_count(self):
+        array = cache_array()
+        planar = array.evaluate(PartitionMode.PLANAR)
+        stacked = array.evaluate(PartitionMode.FOLDED)
+        assert stacked.footprint_mm2 == pytest.approx(planar.area_mm2 / 4, rel=0.2)
+
+    def test_ports_increase_area(self):
+        small = ArrayModel("a", entries=96, bits_per_entry=64).evaluate()
+        big = rf_array().evaluate()
+        assert big.area_mm2 > small.area_mm2

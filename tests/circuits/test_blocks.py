@@ -1,0 +1,79 @@
+"""Tests for the per-block models — the Table 2 reproduction targets."""
+
+import pytest
+
+from repro.circuits.arrays import PartitionMode
+from repro.circuits.blocks import build_block_models, table2
+
+EXPECTED_BLOCKS = {
+    "int_adder", "alu_bypass_loop", "wakeup_select_loop", "rename",
+    "bypass", "fpu", "register_file", "rob", "l1_icache", "l1_dcache",
+    "l2_cache", "itlb", "dtlb", "btb", "ibtb", "dir_predictor",
+    "load_queue", "store_queue", "fetch_queue",
+}
+
+
+class TestBlockSet:
+    def test_all_blocks_present(self, blocks):
+        assert set(blocks) == EXPECTED_BLOCKS
+
+    def test_all_latencies_positive(self, blocks):
+        for model in blocks.values():
+            assert model.timing.latency_2d_ps > 0
+            assert model.timing.latency_3d_ps > 0
+
+    def test_all_3d_latencies_improve(self, blocks):
+        for name, model in blocks.items():
+            assert model.timing.improvement > 0, name
+
+    def test_energy_top_not_above_full(self, blocks):
+        for name, model in blocks.items():
+            assert model.timing.energy_3d_top_pj <= model.timing.energy_3d_pj + 1e-9, name
+
+
+class TestPaperCalibration:
+    """The bold rows of Table 2 and the surrounding claims."""
+
+    def test_wakeup_select_improvement(self, blocks):
+        """Paper: 32% improvement in the wakeup-select loop."""
+        assert blocks["wakeup_select_loop"].timing.improvement == pytest.approx(0.32, abs=0.04)
+
+    def test_alu_bypass_improvement(self, blocks):
+        """Paper: 36% improvement in the ALU+bypass loop."""
+        assert blocks["alu_bypass_loop"].timing.improvement == pytest.approx(0.36, abs=0.04)
+
+    def test_adder_improves_little(self, blocks):
+        """Paper: the adder accounts for only ~3 points of the 36%."""
+        adder = blocks["int_adder"].timing
+        loop = blocks["alu_bypass_loop"].timing
+        adder_contribution = (adder.latency_2d_ps - adder.latency_3d_ps) / loop.latency_2d_ps
+        assert adder_contribution < 0.10
+
+    def test_planar_cycle_near_2_66ghz(self, blocks):
+        cycle = max(
+            blocks["wakeup_select_loop"].timing.latency_2d_ps,
+            blocks["alu_bypass_loop"].timing.latency_2d_ps,
+        )
+        assert 1e3 / cycle == pytest.approx(2.66, rel=0.03)
+
+    def test_large_arrays_gain_most(self, blocks):
+        assert (blocks["l2_cache"].timing.improvement
+                > blocks["load_queue"].timing.improvement)
+
+    def test_word_partitioned_blocks_can_gate(self, blocks):
+        for name in ("register_file", "rob", "l1_dcache", "btb"):
+            timing = blocks[name].timing
+            assert timing.mode is PartitionMode.WORD_PARTITIONED
+            assert timing.energy_3d_top_pj < 0.6 * timing.energy_3d_pj
+
+    def test_bypass_energy_collapses_in_3d(self, blocks):
+        """The wire-dominated bypass network gains the most energy."""
+        timing = blocks["bypass"].timing
+        assert timing.energy_3d_pj < 0.4 * timing.energy_2d_pj
+
+
+class TestRendering:
+    def test_table2_text(self, blocks):
+        text = table2(blocks)
+        assert "wakeup_select_loop" in text
+        assert "frequency-determining" in text

@@ -1,0 +1,47 @@
+"""Tests for the clock frequency derivation (Section 5.1.1)."""
+
+import pytest
+
+from repro.circuits.frequency import (
+    CriticalLoops,
+    derive_frequencies,
+    extract_loops,
+)
+
+
+class TestCriticalLoops:
+    def test_cycle_is_max(self):
+        loops = CriticalLoops(
+            wakeup_select_2d_ps=300.0, wakeup_select_3d_ps=200.0,
+            alu_bypass_2d_ps=350.0, alu_bypass_3d_ps=180.0,
+        )
+        assert loops.cycle_2d_ps == 350.0
+        assert loops.cycle_3d_ps == 200.0
+
+    def test_extract_requires_loops(self):
+        with pytest.raises(KeyError):
+            extract_loops({})
+
+
+class TestDerivedFrequencies:
+    def test_baseline_frequency(self, blocks):
+        plan = derive_frequencies(blocks)
+        assert plan.f2d_ghz == pytest.approx(2.66, rel=0.03)
+
+    def test_3d_frequency(self, blocks):
+        """Paper: 3.93 GHz, a 47.9% increase."""
+        plan = derive_frequencies(blocks)
+        assert plan.f3d_ghz == pytest.approx(3.93, rel=0.05)
+
+    def test_speedup_range(self, blocks):
+        plan = derive_frequencies(blocks)
+        assert 1.40 <= plan.speedup <= 1.55
+
+    def test_default_blocks(self):
+        plan = derive_frequencies()
+        assert plan.f3d_ghz > plan.f2d_ghz
+
+    def test_loops_consistent_with_blocks(self, blocks):
+        plan = derive_frequencies(blocks)
+        ws = blocks["wakeup_select_loop"].timing
+        assert plan.loops.wakeup_select_2d_ps == ws.latency_2d_ps

@@ -1,0 +1,47 @@
+"""Tests for the gate-chain delay helpers."""
+
+import pytest
+
+from repro.circuits.logical_effort import (
+    decoder_depth_fo4,
+    fo4_ps,
+    gate_chain_delay_ps,
+    mux_depth_fo4,
+)
+from repro.circuits.technology import TECH_65NM
+
+
+class TestGateChain:
+    def test_simple_depth(self):
+        assert gate_chain_delay_ps(10.0) == pytest.approx(10.0 * TECH_65NM.fo4_delay_ps)
+
+    def test_fanout_adds_stages(self):
+        base = gate_chain_delay_ps(4.0, fanout=1.0)
+        loaded = gate_chain_delay_ps(4.0, fanout=16.0)
+        # log4(16) = 2 extra FO4 stages.
+        assert loaded == pytest.approx(base + 2 * TECH_65NM.fo4_delay_ps)
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ValueError):
+            gate_chain_delay_ps(-1.0)
+
+    def test_fanout_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            gate_chain_delay_ps(1.0, fanout=0.5)
+
+    def test_fo4_matches_technology(self):
+        assert fo4_ps() == TECH_65NM.fo4_delay_ps
+
+
+class TestStructureDepths:
+    def test_decoder_grows_with_entries(self):
+        assert decoder_depth_fo4(256) > decoder_depth_fo4(32)
+
+    def test_decoder_tiny(self):
+        assert decoder_depth_fo4(1) == 1.0
+
+    def test_mux_grows_with_ways(self):
+        assert mux_depth_fo4(16) > mux_depth_fo4(2)
+
+    def test_mux_degenerate(self):
+        assert mux_depth_fo4(1) == 0.5

@@ -1,0 +1,59 @@
+"""Tests for the technology scaling study."""
+
+import pytest
+
+from repro.circuits.scaling import (
+    SCALING_NODES,
+    run_scaling,
+    scaled_technology,
+)
+from repro.circuits.technology import TECH_65NM
+
+
+class TestScaledTechnology:
+    def test_identity_at_65(self):
+        tech = scaled_technology(65.0)
+        assert tech.fo4_delay_ps == pytest.approx(TECH_65NM.fo4_delay_ps)
+        assert tech.wire_r_per_um == pytest.approx(TECH_65NM.wire_r_per_um)
+
+    def test_smaller_node_faster_gates(self):
+        tech45 = scaled_technology(45.0)
+        assert tech45.fo4_delay_ps < TECH_65NM.fo4_delay_ps
+
+    def test_smaller_node_worse_wires(self):
+        tech45 = scaled_technology(45.0)
+        assert tech45.wire_r_per_um > TECH_65NM.wire_r_per_um
+        assert tech45.repeated_wire_ps_per_mm > TECH_65NM.repeated_wire_ps_per_mm
+
+    def test_geometry_scales(self):
+        tech45 = scaled_technology(45.0)
+        assert tech45.sram_cell_w_um == pytest.approx(
+            TECH_65NM.sram_cell_w_um * 45 / 65
+        )
+
+    def test_rejects_bad_node(self):
+        with pytest.raises(ValueError):
+            scaled_technology(0.0)
+
+
+class TestScalingStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_scaling()
+
+    def test_all_nodes(self, result):
+        assert [p.node_nm for p in result.points] == list(SCALING_NODES)
+
+    def test_gain_grows_at_smaller_nodes(self, result):
+        """The paper's wire-scaling motivation: 3D gains more per node."""
+        gains = result.gain_by_node()
+        assert gains[45.0] > gains[65.0] > gains[90.0]
+
+    def test_65nm_matches_paper_point(self, result):
+        gains = result.gain_by_node()
+        assert 0.40 <= gains[65.0] <= 0.55
+
+    def test_format(self, result):
+        text = result.format()
+        assert "node" in text
+        assert "65n" in text

@@ -1,0 +1,37 @@
+"""Tests for the technology parameter set."""
+
+import pytest
+
+from repro.circuits.technology import TECH_65NM, Technology
+
+
+class TestTechnology:
+    def test_nominal_values_sane(self):
+        tech = TECH_65NM
+        assert 10.0 <= tech.fo4_delay_ps <= 30.0
+        assert 0.5 <= tech.vdd <= 1.5
+        assert tech.d2d_via_delay_ps < tech.fo4_delay_ps, \
+            "paper: d2d via delay is under one FO4"
+
+    def test_via_pitches_match_paper(self):
+        assert TECH_65NM.f2f_via_pitch_um == pytest.approx(1.0)
+        assert TECH_65NM.b2b_via_pitch_um == pytest.approx(2.0)
+
+    def test_interface_distances_match_paper(self):
+        assert TECH_65NM.f2f_distance_um == pytest.approx(5.0)
+        assert TECH_65NM.b2b_distance_um == pytest.approx(20.0)
+
+    def test_wire_rc_coefficient(self):
+        tech = TECH_65NM
+        expected = 0.38 * tech.wire_r_per_um * tech.wire_c_per_um * 1e-3
+        assert tech.wire_rc_ps_per_um2 == pytest.approx(expected)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            TECH_65NM.vdd = 0.9
+
+    def test_baseline_cycle_in_fo4(self):
+        """The 2.66 GHz baseline cycle should be ~20-25 FO4 (Core 2-class)."""
+        cycle_ps = 1e3 / 2.66
+        fo4 = cycle_ps / TECH_65NM.fo4_delay_ps
+        assert 18 <= fo4 <= 28

@@ -1,0 +1,76 @@
+"""Tests for the wire delay/energy models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.circuits.technology import TECH_65NM
+from repro.circuits.wires import (
+    repeated_wire_delay_ps,
+    unrepeated_wire_delay_ps,
+    wire_cap_ff,
+    wire_delay_ps,
+    wire_energy_pj,
+)
+
+lengths = st.floats(min_value=0.0, max_value=50_000.0, allow_nan=False)
+
+
+class TestDelayModels:
+    def test_zero_length(self):
+        assert wire_delay_ps(0.0) == 0.0
+
+    def test_negative_rejected(self):
+        for fn in (wire_delay_ps, repeated_wire_delay_ps, unrepeated_wire_delay_ps):
+            with pytest.raises(ValueError):
+                fn(-1.0)
+
+    def test_unrepeated_quadratic(self):
+        d1 = unrepeated_wire_delay_ps(100.0)
+        d2 = unrepeated_wire_delay_ps(200.0)
+        assert d2 == pytest.approx(4 * d1)
+
+    def test_repeated_linear(self):
+        d1 = repeated_wire_delay_ps(1000.0)
+        d2 = repeated_wire_delay_ps(2000.0)
+        assert d2 == pytest.approx(2 * d1)
+
+    def test_short_wires_use_quadratic(self):
+        # For very short wires the quadratic is below the linear model.
+        length = 50.0
+        assert wire_delay_ps(length) == unrepeated_wire_delay_ps(length)
+
+    def test_long_wires_use_repeated(self):
+        length = 5000.0
+        assert wire_delay_ps(length) == repeated_wire_delay_ps(length)
+
+    @given(lengths)
+    def test_best_of_both(self, length):
+        assert wire_delay_ps(length) == min(
+            unrepeated_wire_delay_ps(length), repeated_wire_delay_ps(length)
+        )
+
+    @given(st.tuples(lengths, lengths))
+    def test_monotone_in_length(self, pair):
+        a, b = sorted(pair)
+        assert wire_delay_ps(a) <= wire_delay_ps(b) + 1e-12
+
+
+class TestEnergy:
+    def test_cap_linear(self):
+        assert wire_cap_ff(2000.0) == pytest.approx(2 * wire_cap_ff(1000.0))
+
+    def test_energy_cv2(self):
+        length = 1000.0
+        expected = wire_cap_ff(length) * 1e-15 * TECH_65NM.vdd ** 2 * 1e12
+        assert wire_energy_pj(length) == pytest.approx(expected)
+
+    def test_activity_scales(self):
+        assert wire_energy_pj(1000.0, activity=0.5) == pytest.approx(
+            0.5 * wire_energy_pj(1000.0)
+        )
+
+    def test_activity_bounds(self):
+        with pytest.raises(ValueError):
+            wire_energy_pj(100.0, activity=1.5)
+        with pytest.raises(ValueError):
+            wire_energy_pj(100.0, activity=-0.1)

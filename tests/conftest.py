@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite.
+
+Expensive artifacts (traces, simulation runs, block models) are session
+scoped: the suite has hundreds of tests and must stay fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.blocks import build_block_models
+from repro.cpu.config import baseline_config, full_3d_config, thermal_herding_config
+from repro.cpu.pipeline import simulate
+from repro.workloads.suite import generate
+
+#: Trace length used by session-scoped simulation fixtures.
+TRACE_LENGTH = 8_000
+WARMUP = 2_000
+
+
+@pytest.fixture(scope="session")
+def blocks():
+    return build_block_models()
+
+
+@pytest.fixture(scope="session")
+def mpeg2_trace():
+    return generate("mpeg2", length=TRACE_LENGTH)
+
+
+@pytest.fixture(scope="session")
+def yacr2_trace():
+    return generate("yacr2", length=TRACE_LENGTH)
+
+
+@pytest.fixture(scope="session")
+def mcf_trace():
+    return generate("mcf", length=TRACE_LENGTH)
+
+
+@pytest.fixture(scope="session")
+def base_run(mpeg2_trace):
+    return simulate(mpeg2_trace, baseline_config(), warmup=WARMUP)
+
+
+@pytest.fixture(scope="session")
+def th_run(mpeg2_trace):
+    return simulate(mpeg2_trace, thermal_herding_config(), warmup=WARMUP)
+
+
+@pytest.fixture(scope="session")
+def full_3d_run(mpeg2_trace):
+    return simulate(mpeg2_trace, full_3d_config(), warmup=WARMUP)

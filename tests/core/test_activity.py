@@ -1,0 +1,108 @@
+"""Tests for per-module, per-die activity accounting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.activity import ActivityCounters, ModuleActivity, NUM_DIES
+
+
+class TestModuleActivity:
+    def test_record_full_stack(self):
+        activity = ModuleActivity()
+        activity.record(dies_active=NUM_DIES)
+        assert activity.total == 1
+        assert activity.top_only == 0
+        assert activity.per_die == [1, 1, 1, 1]
+
+    def test_record_top_only(self):
+        activity = ModuleActivity()
+        activity.record(dies_active=1)
+        assert activity.top_only == 1
+        assert activity.per_die == [1, 0, 0, 0]
+
+    def test_record_partial(self):
+        activity = ModuleActivity()
+        activity.record(dies_active=2)
+        assert activity.per_die == [1, 1, 0, 0]
+        assert activity.top_only == 0
+
+    def test_record_count(self):
+        activity = ModuleActivity()
+        activity.record(dies_active=1, count=5)
+        assert activity.total == 5
+        assert activity.top_only == 5
+
+    def test_record_die_specific(self):
+        activity = ModuleActivity()
+        activity.record_die(2)
+        assert activity.per_die == [0, 0, 1, 0]
+        assert activity.top_only == 0
+        activity.record_die(0)
+        assert activity.top_only == 1
+
+    def test_bounds(self):
+        activity = ModuleActivity()
+        with pytest.raises(ValueError):
+            activity.record(dies_active=0)
+        with pytest.raises(ValueError):
+            activity.record(dies_active=NUM_DIES + 1)
+        with pytest.raises(ValueError):
+            activity.record_die(NUM_DIES)
+
+    def test_herded_fraction(self):
+        activity = ModuleActivity()
+        activity.record(dies_active=1)
+        activity.record(dies_active=4)
+        assert activity.herded_fraction == 0.5
+
+    def test_die_activity_fraction(self):
+        activity = ModuleActivity()
+        activity.record(dies_active=1)
+        activity.record(dies_active=4)
+        fractions = activity.die_activity_fraction
+        assert fractions[0] == 1.0
+        assert fractions[3] == 0.5
+
+    @given(st.lists(st.integers(min_value=1, max_value=NUM_DIES), max_size=50))
+    def test_invariants(self, events):
+        activity = ModuleActivity()
+        for dies in events:
+            activity.record(dies_active=dies)
+        assert activity.total == len(events)
+        assert activity.top_only <= activity.total
+        assert activity.per_die[0] == activity.total
+        # Monotone non-increasing die activity for top-k recording.
+        for a, b in zip(activity.per_die, activity.per_die[1:]):
+            assert a >= b
+
+
+class TestActivityCounters:
+    def test_module_created_on_demand(self):
+        counters = ActivityCounters()
+        counters.record("alu", dies_active=1)
+        assert counters.module("alu").total == 1
+
+    def test_total_accesses(self):
+        counters = ActivityCounters()
+        counters.record("a", count=3)
+        counters.record("b", count=2)
+        assert counters.total_accesses() == 5
+
+    def test_clear(self):
+        counters = ActivityCounters()
+        counters.record("a")
+        counters.clear()
+        assert counters.total_accesses() == 0
+
+    def test_merged_with(self):
+        a = ActivityCounters()
+        a.record("alu", dies_active=1, count=2)
+        b = ActivityCounters()
+        b.record("alu", dies_active=4, count=3)
+        b.record("rob", dies_active=1)
+        merged = a.merged_with(b)
+        assert merged.module("alu").total == 5
+        assert merged.module("alu").top_only == 2
+        assert merged.module("rob").total == 1
+        # Sources unchanged.
+        assert a.module("alu").total == 2

@@ -1,0 +1,73 @@
+"""Tests for the partitioned ALU and bypass network (Sections 3.2-3.3)."""
+
+from repro.core.activity import ActivityCounters, NUM_DIES
+from repro.core.alu import PartitionedALU
+from repro.core.bypass import BypassNetwork
+
+
+def make_alu():
+    counters = ActivityCounters()
+    return PartitionedALU(counters), counters
+
+
+class TestALU:
+    def test_full_prediction_uses_all_dies(self):
+        alu, _ = make_alu()
+        execution = alu.execute(predicted_low=False, operands_low=True, result_low=True)
+        assert execution.dies_active == NUM_DIES
+        assert not execution.reexecute
+        assert execution.input_stall_cycles == 0
+
+    def test_correct_low_prediction_gates(self):
+        alu, counters = make_alu()
+        execution = alu.execute(predicted_low=True, operands_low=True, result_low=True)
+        assert execution.dies_active == 1
+        assert counters.module("alu").top_only == 1
+
+    def test_input_misprediction_stalls_one_cycle(self):
+        alu, _ = make_alu()
+        execution = alu.execute(predicted_low=True, operands_low=False, result_low=False)
+        assert execution.input_stall_cycles == 1
+        assert not execution.reexecute
+        assert alu.input_stalls == 1
+
+    def test_output_misprediction_reexecutes(self):
+        """16+16 bits can make 17: low operands, full result."""
+        alu, counters = make_alu()
+        execution = alu.execute(predicted_low=True, operands_low=True, result_low=False)
+        assert execution.reexecute
+        assert alu.reexecutions == 1
+        # The wasted gated pass plus the full re-execution are both charged.
+        assert counters.module("alu").total == 2
+
+    def test_full_prediction_is_always_safe(self):
+        """Full-width prediction enables everything: no stall possible."""
+        alu, _ = make_alu()
+        for operands_low in (True, False):
+            for result_low in (True, False):
+                execution = alu.execute(False, operands_low, result_low)
+                assert execution.input_stall_cycles == 0
+                assert not execution.reexecute
+
+
+class TestBypass:
+    def test_low_width_drives_top_die(self):
+        counters = ActivityCounters()
+        bypass = BypassNetwork(counters)
+        assert bypass.broadcast(result_low=True) == 1
+        assert counters.module("bypass").top_only == 1
+
+    def test_full_width_drives_all(self):
+        counters = ActivityCounters()
+        bypass = BypassNetwork(counters)
+        assert bypass.broadcast(result_low=False) == NUM_DIES
+
+    def test_mixed_stream_accounting(self):
+        counters = ActivityCounters()
+        bypass = BypassNetwork(counters)
+        for low in (True, True, False, True):
+            bypass.broadcast(low)
+        activity = counters.module("bypass")
+        assert activity.total == 4
+        assert activity.top_only == 3
+        assert activity.per_die[3] == 1

@@ -1,0 +1,199 @@
+"""Bit-accuracy tests for the functional partitioned-datapath models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.functional import (
+    EncodedCacheLine,
+    FunctionalRegisterFile,
+    PartitionedAdderFunctional,
+)
+from repro.isa.values import UpperBitsEncoding, to_unsigned, upper_bits
+
+u64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+low16 = st.integers(min_value=-(1 << 15), max_value=(1 << 15) - 1)
+
+LINE_BASE = 0x2AAA_0000_1000
+
+
+class TestPartitionedAdder:
+    @given(u64, u64)
+    def test_full_width_add_exact(self, a, b):
+        adder = PartitionedAdderFunctional()
+        trace = adder.add(a, b)
+        assert trace.result == (a + b) & ((1 << 64) - 1)
+        assert trace.dies_active == 4
+
+    @given(low16, low16)
+    def test_gated_add_correct_when_sum_fits(self, a, b):
+        adder = PartitionedAdderFunctional()
+        ua, ub = to_unsigned(a), to_unsigned(b)
+        trace = adder.add(ua, ub, gate_upper=True)
+        true_sum = (ua + ub) & ((1 << 64) - 1)
+        # Truncation flagged exactly when the gated result is wrong.
+        assert trace.truncated == (trace.result != true_sum)
+        assert trace.dies_active == 1
+
+    def test_16_plus_16_makes_17(self):
+        """The paper's example: adding two low-width values can need 17
+        bits — 0x7FFF + 0x7FFF = 0xFFFE is not a 16-bit signed value, so
+        the gated add must flag a re-execution."""
+        adder = PartitionedAdderFunctional()
+        trace = adder.add(0x7FFF, 0x7FFF, gate_upper=True)
+        assert trace.truncated
+        full = adder.add(0x7FFF, 0x7FFF)
+        assert full.result == 0xFFFE
+        assert not full.truncated
+
+    def test_carry_crosses_dies(self):
+        adder = PartitionedAdderFunctional()
+        trace = adder.add(0xFFFF, 1)
+        assert trace.result == 0x1_0000
+        assert trace.carries[0] == 1  # the d2d via carried
+
+    def test_gated_carry_lost(self):
+        adder = PartitionedAdderFunctional()
+        trace = adder.add(0xFFFF, 1, gate_upper=True)
+        assert trace.truncated
+        assert trace.result == 0  # low word wrapped, uppers gated
+
+    @given(u64, u64, st.booleans())
+    def test_add_checked_always_correct(self, a, b, predicted_low):
+        """Re-execution makes the architectural result always exact."""
+        adder = PartitionedAdderFunctional()
+        result, _reexecuted = adder.add_checked(a, b, predicted_low)
+        assert result == (a + b) & ((1 << 64) - 1)
+
+    @given(u64, u64)
+    def test_reexecution_only_on_truncation(self, a, b):
+        adder = PartitionedAdderFunctional()
+        _, reexecuted = adder.add_checked(a, b, predicted_low=True)
+        assert reexecuted == adder.add(a, b, gate_upper=True).truncated
+
+    def test_rejects_wrong_die_count(self):
+        with pytest.raises(ValueError):
+            PartitionedAdderFunctional(dies=2)
+
+
+class TestFunctionalRegisterFile:
+    @given(u64)
+    def test_write_read_roundtrip(self, value):
+        rf = FunctionalRegisterFile()
+        rf.write(3, value)
+        assert rf.read_full(3) == value
+
+    @given(low16)
+    def test_low_width_read_from_top_die_exact(self, signed):
+        rf = FunctionalRegisterFile()
+        value = to_unsigned(signed)
+        rf.write(5, value)
+        outcome = rf.read_predicted(5, predicted_low=True)
+        assert outcome.value == value
+        assert outcome.dies_read == 1
+        assert not outcome.unsafe
+
+    def test_unsafe_read_detected_and_correct(self):
+        rf = FunctionalRegisterFile()
+        rf.write(2, 1 << 40)
+        outcome = rf.read_predicted(2, predicted_low=True)
+        assert outcome.unsafe
+        assert outcome.value == 1 << 40
+        assert outcome.dies_read == 4
+
+    def test_memoization_bit_tracks_width(self):
+        rf = FunctionalRegisterFile()
+        rf.write(1, 7)
+        assert not rf.memoization_bit(1)
+        rf.write(1, 1 << 30)
+        assert rf.memoization_bit(1)
+
+    def test_stale_uppers_cleared(self):
+        """Low write after a full write must not leak stale upper words."""
+        rf = FunctionalRegisterFile()
+        rf.write(4, 0xDEAD_BEEF_0000_1234)
+        rf.write(4, 5)
+        assert rf.read_full(4) == 5
+        outcome = rf.read_predicted(4, predicted_low=True)
+        assert outcome.value == 5
+
+    @given(st.lists(st.tuples(st.integers(0, 31), u64), min_size=1, max_size=40))
+    def test_predicted_full_reads_always_exact(self, writes):
+        rf = FunctionalRegisterFile()
+        model = {}
+        for reg, value in writes:
+            rf.write(reg, value)
+            model[reg] = value
+        for reg, value in model.items():
+            assert rf.read_predicted(reg, predicted_low=False).value == value
+
+    def test_bounds(self):
+        rf = FunctionalRegisterFile(registers=8)
+        with pytest.raises(ValueError):
+            rf.write(8, 1)
+        with pytest.raises(ValueError):
+            rf.read_full(-1)
+
+
+class TestEncodedCacheLine:
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            EncodedCacheLine(0x1001)
+        line = EncodedCacheLine(LINE_BASE)
+        with pytest.raises(ValueError):
+            line.store(LINE_BASE + 3, 1)
+        with pytest.raises(ValueError):
+            line.store(LINE_BASE + 64, 1)
+
+    def test_never_stored_raises(self):
+        line = EncodedCacheLine(LINE_BASE)
+        with pytest.raises(KeyError):
+            line.load(LINE_BASE)
+
+    @given(u64, st.integers(0, 7))
+    def test_roundtrip_exact(self, value, slot):
+        line = EncodedCacheLine(LINE_BASE)
+        addr = LINE_BASE + slot * 8
+        line.store(addr, value)
+        loaded, _dies = line.load(addr)
+        assert loaded == value
+
+    def test_zero_compresses(self):
+        line = EncodedCacheLine(LINE_BASE)
+        assert line.store(LINE_BASE, 0x42) == 1
+        assert line.encoding_of(LINE_BASE) is UpperBitsEncoding.ALL_ZEROS
+        _, dies = line.load(LINE_BASE)
+        assert dies == 1
+
+    def test_negative_compresses(self):
+        line = EncodedCacheLine(LINE_BASE)
+        line.store(LINE_BASE + 8, to_unsigned(-9))
+        value, dies = line.load(LINE_BASE + 8)
+        assert value == to_unsigned(-9)
+        assert dies == 1
+
+    def test_near_pointer_compresses(self):
+        line = EncodedCacheLine(LINE_BASE)
+        addr = LINE_BASE + 16
+        pointer = (upper_bits(addr) << 16) | 0xBEE8
+        line.store(addr, pointer)
+        assert line.encoding_of(addr) is UpperBitsEncoding.SAME_AS_ADDRESS
+        value, dies = line.load(addr)
+        assert value == pointer
+        assert dies == 1
+
+    def test_wide_literal_needs_lower_dies(self):
+        line = EncodedCacheLine(LINE_BASE)
+        wide = 0x0123_4567_89AB_CDEF
+        assert line.store(LINE_BASE + 24, wide) == 4
+        value, dies = line.load(LINE_BASE + 24)
+        assert value == wide
+        assert dies == 4
+
+    def test_compressed_fraction(self):
+        line = EncodedCacheLine(LINE_BASE)
+        line.store(LINE_BASE, 1)                        # compressed
+        line.store(LINE_BASE + 8, 0xDEAD_BEEF_0001_0002)  # literal
+        assert line.compressed_fraction() == 0.5
+
+    def test_empty_fraction(self):
+        assert EncodedCacheLine(LINE_BASE).compressed_fraction() == 0.0

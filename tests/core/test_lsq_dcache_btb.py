@@ -1,0 +1,182 @@
+"""Tests for PAM (3.5), the partial-value cache (3.6), and BTB memoization (3.7)."""
+
+from repro.core.activity import ActivityCounters, NUM_DIES
+from repro.core.btb_memoization import MemoizedBTB
+from repro.core.dcache_encoding import EncodingScheme, PartialValueCache
+from repro.core.direction_split import SplitDirectionPredictorActivity
+from repro.core.lsq_pam import PartialAddressMemoization
+from repro.isa.values import to_unsigned, upper_bits
+
+STACK_ADDR = 0x7FFF_FFFF_0100
+HEAP_ADDR = 0x2AAA_0000_1000
+
+
+class TestPAM:
+    def make(self):
+        counters = ActivityCounters()
+        return PartialAddressMemoization(counters), counters
+
+    def test_first_broadcast_is_full(self):
+        pam, _ = self.make()
+        assert not pam.store_broadcast(STACK_ADDR)
+
+    def test_matching_uppers_herd(self):
+        pam, counters = self.make()
+        pam.store_broadcast(STACK_ADDR)
+        assert pam.load_broadcast(STACK_ADDR + 8)
+        assert counters.module("store_queue").top_only == 1
+
+    def test_loads_do_not_update_memo(self):
+        pam, _ = self.make()
+        pam.store_broadcast(STACK_ADDR)
+        pam.load_broadcast(HEAP_ADDR)          # mismatch, no update
+        assert pam.load_broadcast(STACK_ADDR)  # still matches the store
+
+    def test_stores_update_memo(self):
+        pam, _ = self.make()
+        pam.store_broadcast(STACK_ADDR)
+        pam.store_broadcast(HEAP_ADDR)
+        assert not pam.load_broadcast(STACK_ADDR)
+        assert pam.load_broadcast(HEAP_ADDR + 16)
+
+    def test_herded_fraction(self):
+        pam, _ = self.make()
+        pam.store_broadcast(STACK_ADDR)
+        pam.load_broadcast(STACK_ADDR + 8)
+        pam.load_broadcast(HEAP_ADDR)
+        assert abs(pam.herded_fraction - 1 / 3) < 1e-9
+
+    def test_queue_modules_charged(self):
+        pam, counters = self.make()
+        pam.store_broadcast(STACK_ADDR)   # store searches the load queue
+        pam.load_broadcast(STACK_ADDR)    # load searches the store queue
+        assert counters.module("load_queue").total == 1
+        assert counters.module("store_queue").total == 1
+
+
+class TestPartialValueCache:
+    def make(self, scheme=EncodingScheme.TWO_BIT):
+        counters = ActivityCounters()
+        return PartialValueCache(counters, scheme=scheme), counters
+
+    def test_store_of_narrow_value_herds(self):
+        cache, counters = self.make()
+        outcome = cache.record_store(HEAP_ADDR, 42)
+        assert outcome.herded
+        assert outcome.stall_cycles == 0
+
+    def test_store_of_wide_value_full(self):
+        cache, _ = self.make()
+        outcome = cache.record_store(HEAP_ADDR, 0xDEAD_BEEF_0001_0002)
+        assert not outcome.herded
+        assert outcome.dies_active == NUM_DIES
+
+    def test_predicted_low_load_of_compressed_value(self):
+        cache, _ = self.make()
+        cache.record_store(HEAP_ADDR, 42)
+        outcome = cache.record_load(HEAP_ADDR, 42, predicted_low=True)
+        assert outcome.herded
+        assert outcome.stall_cycles == 0
+
+    def test_unsafe_load_stalls_one_cycle(self):
+        cache, _ = self.make()
+        wide = 0xDEAD_BEEF_0001_0002
+        cache.record_store(HEAP_ADDR, wide)
+        outcome = cache.record_load(HEAP_ADDR, wide, predicted_low=True)
+        assert outcome.stall_cycles == 1
+        assert cache.unsafe_stalls == 1
+
+    def test_full_prediction_never_stalls(self):
+        cache, _ = self.make()
+        wide = 0xDEAD_BEEF_0001_0002
+        cache.record_store(HEAP_ADDR, wide)
+        outcome = cache.record_load(HEAP_ADDR, wide, predicted_low=False)
+        assert outcome.stall_cycles == 0
+
+    def test_negative_values_compress(self):
+        cache, _ = self.make()
+        value = to_unsigned(-100)
+        cache.record_store(HEAP_ADDR, value)
+        outcome = cache.record_load(HEAP_ADDR, value, predicted_low=True)
+        assert outcome.herded
+
+    def test_near_pointer_compresses_in_two_bit(self):
+        cache, _ = self.make()
+        pointer = (upper_bits(HEAP_ADDR) << 16) | 0x42
+        cache.record_store(HEAP_ADDR, pointer)
+        outcome = cache.record_load(HEAP_ADDR, pointer, predicted_low=True)
+        assert outcome.herded
+
+    def test_near_pointer_misses_in_one_bit(self):
+        """The ablation scheme only compresses all-zero uppers."""
+        cache, _ = self.make(EncodingScheme.ONE_BIT)
+        pointer = (upper_bits(HEAP_ADDR) << 16) | 0x42
+        cache.record_store(HEAP_ADDR, pointer)
+        outcome = cache.record_load(HEAP_ADDR, pointer, predicted_low=True)
+        assert outcome.stall_cycles == 1
+
+    def test_one_bit_negative_misses(self):
+        cache, _ = self.make(EncodingScheme.ONE_BIT)
+        value = to_unsigned(-100)
+        cache.record_store(HEAP_ADDR, value)
+        outcome = cache.record_load(HEAP_ADDR, value, predicted_low=True)
+        assert outcome.stall_cycles == 1
+
+    def test_fill_touches_all_dies(self):
+        cache, counters = self.make()
+        cache.record_fill()
+        assert counters.module("l1_dcache").per_die == [1] * NUM_DIES
+
+    def test_herded_fraction_metric(self):
+        cache, _ = self.make()
+        cache.record_store(HEAP_ADDR, 1)
+        cache.record_load(HEAP_ADDR, 1, predicted_low=True)
+        cache.record_load(HEAP_ADDR + 8, 1 << 40, predicted_low=True)
+        assert cache.herded_load_fraction == 0.5
+
+
+class TestBTBMemoization:
+    def test_near_target_herds(self):
+        counters = ActivityCounters()
+        btb = MemoizedBTB(counters)
+        lookup = btb.read_target(0x40_0000, 0x40_0100)
+        assert lookup.herded
+        assert lookup.stall_cycles == 0
+
+    def test_far_target_stalls(self):
+        counters = ActivityCounters()
+        btb = MemoizedBTB(counters)
+        lookup = btb.read_target(0x40_0000, 0x7F00_0000_0000)
+        assert not lookup.herded
+        assert lookup.stall_cycles == 1
+        assert btb.far_target_stalls == 1
+
+    def test_herded_fraction(self):
+        counters = ActivityCounters()
+        btb = MemoizedBTB(counters)
+        btb.read_target(0x40_0000, 0x40_0100)
+        btb.read_target(0x40_0004, 0x7F00_0000_0000)
+        assert btb.herded_fraction == 0.5
+
+
+class TestDirectionSplit:
+    def test_prediction_touches_top_half(self):
+        counters = ActivityCounters()
+        split = SplitDirectionPredictorActivity(counters)
+        split.record_prediction()
+        activity = counters.module("dir_predictor")
+        assert activity.per_die == [1, 1, 0, 0]
+
+    def test_update_touches_everything(self):
+        counters = ActivityCounters()
+        split = SplitDirectionPredictorActivity(counters)
+        split.record_update()
+        assert counters.module("dir_predictor").per_die == [1, 1, 1, 1]
+
+    def test_top_half_fraction(self):
+        counters = ActivityCounters()
+        split = SplitDirectionPredictorActivity(counters)
+        split.record_prediction()
+        split.record_update()
+        # top touches 4 of 6 total.
+        assert abs(split.top_half_fraction - 4 / 6) < 1e-9

@@ -1,0 +1,88 @@
+"""Tests for the word-partitioned register file (Section 3.1)."""
+
+from repro.core.activity import ActivityCounters, NUM_DIES
+from repro.core.register_file import PartitionedRegisterFile
+from repro.isa.values import to_unsigned
+
+
+def make_rf():
+    counters = ActivityCounters()
+    return PartitionedRegisterFile(counters), counters
+
+
+class TestWrites:
+    def test_low_width_write_top_die_only(self):
+        rf, counters = make_rf()
+        rf.write(3, 42)
+        assert counters.module("register_file").top_only == 1
+
+    def test_full_width_write_all_dies(self):
+        rf, counters = make_rf()
+        rf.write(3, 1 << 40)
+        activity = counters.module("register_file")
+        assert activity.top_only == 0
+        assert activity.per_die == [1] * NUM_DIES
+
+    def test_memoization_follows_writes(self):
+        rf, _ = make_rf()
+        rf.write(3, 42)
+        assert rf.value_is_low(3, 42)
+        rf.write(3, 1 << 40)
+        assert not rf.value_is_low(3, 1 << 40)
+
+    def test_negative_low_width(self):
+        rf, _ = make_rf()
+        rf.write(3, to_unsigned(-7))
+        assert rf.value_is_low(3, to_unsigned(-7))
+
+
+class TestReads:
+    def test_correct_low_prediction_stays_on_top(self):
+        rf, counters = make_rf()
+        rf.write(1, 5)
+        access = rf.read_group([(1, 5, True)])
+        assert not access.stall
+        assert access.top_only_reads == 1
+
+    def test_unsafe_misprediction_stalls(self):
+        rf, _ = make_rf()
+        rf.write(1, 1 << 40)
+        access = rf.read_group([(1, 1 << 40, True)])
+        assert access.stall
+        assert access.top_only_reads == 0
+
+    def test_full_prediction_never_stalls(self):
+        rf, _ = make_rf()
+        rf.write(1, 1 << 40)
+        access = rf.read_group([(1, 1 << 40, False)])
+        assert not access.stall
+
+    def test_group_shares_single_stall(self):
+        """Multiple unsafe reads in one group -> one stall flag."""
+        rf, _ = make_rf()
+        rf.write(1, 1 << 40)
+        rf.write(2, 1 << 41)
+        access = rf.read_group([
+            (1, 1 << 40, True),
+            (2, 1 << 41, True),
+            (3, 7, True),
+        ])
+        assert access.stall
+        assert access.reads == 3
+
+    def test_lazy_memoization_from_value(self):
+        """Registers never written derive their memo bit from the value."""
+        rf, _ = make_rf()
+        access = rf.read_group([(9, 1 << 33, True)])
+        assert access.stall
+
+    def test_activity_counts(self):
+        rf, counters = make_rf()
+        rf.write(1, 5)
+        rf.write(2, 1 << 40)
+        rf.read_group([(1, 5, True), (2, 1 << 40, False)])
+        activity = counters.module("register_file")
+        # 2 writes + 2 reads.
+        assert activity.total == 4
+        # low write + herded read.
+        assert activity.top_only == 2

@@ -1,0 +1,133 @@
+"""Tests for the entry-stacked scheduler (Section 3.4)."""
+
+import pytest
+
+from repro.core.activity import ActivityCounters, NUM_DIES
+from repro.core.scheduler_allocation import AllocationPolicy, EntryStackedScheduler
+
+
+def make(policy=AllocationPolicy.TOP_FIRST, entries=32):
+    counters = ActivityCounters()
+    return EntryStackedScheduler(counters, entries=entries, policy=policy), counters
+
+
+class TestConstruction:
+    def test_rejects_non_multiple(self):
+        with pytest.raises(ValueError):
+            make(entries=30)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            make(entries=0)
+
+
+class TestAllocateRelease:
+    def test_top_first_fills_top_die(self):
+        scheduler, _ = make()
+        dies = [scheduler.allocate() for _ in range(8)]
+        assert dies == [0] * 8
+
+    def test_top_first_overflows_downward(self):
+        scheduler, _ = make()
+        dies = [scheduler.allocate() for _ in range(10)]
+        assert dies[:8] == [0] * 8
+        assert dies[8:] == [1, 1]
+
+    def test_full_scheduler_returns_none(self):
+        scheduler, _ = make()
+        for _ in range(32):
+            assert scheduler.allocate() is not None
+        assert scheduler.allocate() is None
+
+    def test_round_robin_spreads(self):
+        scheduler, _ = make(AllocationPolicy.ROUND_ROBIN)
+        dies = [scheduler.allocate() for _ in range(8)]
+        assert dies == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_release_frees_entry(self):
+        scheduler, _ = make()
+        die = scheduler.allocate()
+        scheduler.release(die)
+        assert scheduler.occupancy == [0, 0, 0, 0]
+
+    def test_release_empty_rejected(self):
+        scheduler, _ = make()
+        with pytest.raises(ValueError):
+            scheduler.release(0)
+
+    def test_release_bad_die_rejected(self):
+        scheduler, _ = make()
+        with pytest.raises(ValueError):
+            scheduler.release(7)
+
+
+class TestOccupancyGeometry:
+    def test_die_for_occupancy_top_first(self):
+        scheduler, _ = make()
+        assert scheduler.die_for_occupancy(1) == 0
+        assert scheduler.die_for_occupancy(8) == 0
+        assert scheduler.die_for_occupancy(9) == 1
+        assert scheduler.die_for_occupancy(32) == 3
+
+    def test_die_for_occupancy_round_robin(self):
+        scheduler, _ = make(AllocationPolicy.ROUND_ROBIN)
+        assert scheduler.die_for_occupancy(1) == 0
+        assert scheduler.die_for_occupancy(2) == 1
+        assert scheduler.die_for_occupancy(5) == 0
+
+    def test_occupancy_clamps(self):
+        scheduler, _ = make()
+        assert scheduler.die_for_occupancy(1000) == 3
+
+    def test_rejects_zero_occupancy(self):
+        scheduler, _ = make()
+        with pytest.raises(ValueError):
+            scheduler.die_for_occupancy(0)
+
+    def test_occupied_dies_top_first(self):
+        scheduler, _ = make()
+        assert scheduler.occupied_dies(0) == 1   # bus stub
+        assert scheduler.occupied_dies(1) == 1
+        assert scheduler.occupied_dies(8) == 1
+        assert scheduler.occupied_dies(9) == 2
+        assert scheduler.occupied_dies(32) == 4
+
+    def test_occupied_dies_round_robin(self):
+        scheduler, _ = make(AllocationPolicy.ROUND_ROBIN)
+        assert scheduler.occupied_dies(1) == 1
+        assert scheduler.occupied_dies(3) == 3
+        assert scheduler.occupied_dies(20) == 4
+
+
+class TestBroadcastGating:
+    def test_low_occupancy_broadcast_is_herded(self):
+        scheduler, counters = make()
+        assert scheduler.broadcast_with_occupancy(4) == 1
+        assert counters.module("scheduler").top_only == 1
+
+    def test_high_occupancy_hits_all_dies(self):
+        scheduler, counters = make()
+        assert scheduler.broadcast_with_occupancy(32) == NUM_DIES
+
+    def test_round_robin_rotates_dies(self):
+        scheduler, counters = make(AllocationPolicy.ROUND_ROBIN)
+        for _ in range(4):
+            scheduler.broadcast_with_occupancy(1)
+        # The single occupied entry rotates, spreading power evenly.
+        assert counters.module("scheduler").per_die == [1, 1, 1, 1]
+
+    def test_mean_dies_metric(self):
+        scheduler, _ = make()
+        scheduler.broadcast_with_occupancy(4)    # 1 die
+        scheduler.broadcast_with_occupancy(20)   # 3 dies
+        assert scheduler.mean_dies_per_broadcast == 2.0
+
+    def test_herding_beats_round_robin(self):
+        """The ablation claim: TOP_FIRST keeps broadcasts high in the stack."""
+        top, top_counters = make(AllocationPolicy.TOP_FIRST)
+        rr, rr_counters = make(AllocationPolicy.ROUND_ROBIN)
+        for occupancy in (1, 2, 3, 4, 5, 6):
+            top.broadcast_with_occupancy(occupancy)
+            rr.broadcast_with_occupancy(occupancy)
+        assert (top_counters.module("scheduler").herded_fraction
+                > rr_counters.module("scheduler").herded_fraction)

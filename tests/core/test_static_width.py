@@ -1,0 +1,120 @@
+"""Tests for profile-based static and oracle width prediction."""
+
+import pytest
+
+from repro.core.static_width import (
+    OracleWidthPredictor,
+    StaticWidthPredictor,
+    actual_width_class,
+    build_width_profile,
+)
+from repro.isa.instruction import TraceInstruction
+from repro.isa.opcodes import OpClass
+from repro.workloads.suite import generate
+
+
+def alu(pc, result, src_values=(1,)):
+    return TraceInstruction(pc=pc, op=OpClass.IALU, srcs=(1,) * len(src_values),
+                            dst=2, result=result, src_values=src_values)
+
+
+def load(pc, value):
+    return TraceInstruction(pc=pc, op=OpClass.LOAD, srcs=(1,), dst=2,
+                            result=value, src_values=(1 << 40,),
+                            mem_addr=0x1000, mem_value=value)
+
+
+class TestActualWidthClass:
+    def test_load_classifies_data_not_address(self):
+        """Wide address operand, narrow data: loads classify the data."""
+        assert actual_width_class(load(0, 5))
+
+    def test_store_classifies_data(self):
+        store = TraceInstruction(pc=0, op=OpClass.STORE, srcs=(1, 2),
+                                 src_values=(1 << 40, 7),
+                                 mem_addr=0x1000, mem_value=7)
+        assert actual_width_class(store)
+
+    def test_alu_includes_operands(self):
+        assert not actual_width_class(alu(0, 5, src_values=(1 << 40,)))
+        assert actual_width_class(alu(0, 5, src_values=(3,)))
+
+
+class TestProfile:
+    def test_majority_wins(self):
+        insts = [alu(0x40, 1)] * 3 + [alu(0x40, 1 << 40)] * 2
+        profile = build_width_profile(insts)
+        assert profile[0x40] is True
+
+    def test_tie_resolves_full_width(self):
+        insts = [alu(0x40, 1), alu(0x40, 1 << 40)]
+        profile = build_width_profile(insts)
+        assert profile[0x40] is False
+
+    def test_non_datapath_excluded(self):
+        branch = TraceInstruction(pc=0x80, op=OpClass.BRANCH, taken=False)
+        profile = build_width_profile([branch])
+        assert 0x80 not in profile
+
+
+class TestStaticPredictor:
+    def test_uses_profile(self):
+        predictor = StaticWidthPredictor({0x40: True, 0x44: False})
+        assert predictor.predict_low_width(0x40)
+        assert not predictor.predict_low_width(0x44)
+
+    def test_unprofiled_defaults_full(self):
+        assert not StaticWidthPredictor({}).predict_low_width(0x999)
+
+    def test_correction_is_sticky(self):
+        predictor = StaticWidthPredictor({0x40: True})
+        predictor.correct_prediction(0x40)
+        assert not predictor.predict_low_width(0x40)
+
+    def test_stats_accounting(self):
+        predictor = StaticWidthPredictor({0x40: True})
+        assert predictor.observe(0x40, actual_low=False)  # unsafe
+        predictor.correct_prediction(0x40)                # hardware override
+        assert not predictor.observe(0x40, actual_low=False)
+        stats = predictor.stats
+        assert stats.predictions == 2
+        assert stats.unsafe_mispredictions == 1
+
+
+class TestOracle:
+    def test_never_wrong(self):
+        oracle = OracleWidthPredictor()
+        for actual in (True, False, True, True):
+            assert oracle.observe(0x40, actual) is False
+        assert oracle.stats.accuracy == 1.0
+
+    def test_prime_controls_prediction(self):
+        oracle = OracleWidthPredictor()
+        oracle.prime(True)
+        assert oracle.predict_low_width(0)
+        oracle.prime(False)
+        assert not oracle.predict_low_width(0)
+
+
+class TestEndToEnd:
+    def test_variants_in_simulator(self):
+        from dataclasses import replace
+        from repro.cpu.config import WidthPredictorKind, thermal_herding_config
+        from repro.cpu.pipeline import simulate
+
+        trace = generate("adpcm", length=4000)
+        results = {}
+        for kind in WidthPredictorKind:
+            config = replace(thermal_herding_config(), width_predictor_kind=kind)
+            results[kind] = simulate(trace, config, warmup=1000)
+
+        oracle = results[WidthPredictorKind.ORACLE]
+        assert oracle.width_stats.accuracy == 1.0
+        assert oracle.stalls.total == 0
+        dynamic = results[WidthPredictorKind.DYNAMIC]
+        static = results[WidthPredictorKind.STATIC]
+        # The oracle bounds both practical schemes.
+        assert dynamic.width_stats.accuracy <= 1.0
+        assert static.width_stats.accuracy <= 1.0
+        # All variants produce the same committed work.
+        assert dynamic.instructions == static.instructions == oracle.instructions

@@ -1,0 +1,117 @@
+"""Tests for the PC-indexed saturating-counter width predictor."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.width_prediction import WidthPredictor
+
+
+class TestConstruction:
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            WidthPredictor(table_size=1000)
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            WidthPredictor(counter_bits=0)
+
+    def test_initial_prediction_is_full_width(self):
+        """Initializing toward full width makes initial errors safe."""
+        predictor = WidthPredictor()
+        assert not predictor.predict_low_width(0x1000)
+
+
+class TestTraining:
+    def test_learns_low_width(self):
+        predictor = WidthPredictor()
+        for _ in range(3):
+            predictor.record_and_train(0x1000, predictor.predict_low_width(0x1000), True)
+        assert predictor.predict_low_width(0x1000)
+
+    def test_learns_full_width(self):
+        predictor = WidthPredictor()
+        for _ in range(4):
+            predictor.record_and_train(0x1000, True, False)
+        assert not predictor.predict_low_width(0x1000)
+
+    def test_hysteresis(self):
+        """A single contrary outcome must not flip a saturated counter."""
+        predictor = WidthPredictor()
+        for _ in range(4):
+            predictor.record_and_train(0x1000, False, True)  # saturate low
+        predictor.record_and_train(0x1000, True, False)      # one full-width
+        assert predictor.predict_low_width(0x1000)
+
+    def test_distinct_pcs_independent(self):
+        predictor = WidthPredictor(table_size=1024)
+        for _ in range(4):
+            predictor.record_and_train(0x1000, False, True)
+        assert predictor.predict_low_width(0x1000)
+        assert not predictor.predict_low_width(0x1004)
+
+    def test_aliasing_wraps_table(self):
+        predictor = WidthPredictor(table_size=16)
+        for _ in range(4):
+            predictor.record_and_train(0x0, False, True)
+        # PC 16 instructions later aliases to the same entry (pc >> 2 & 15).
+        assert predictor.predict_low_width(64)
+
+
+class TestCorrection:
+    def test_correction_forces_full_width(self):
+        predictor = WidthPredictor()
+        for _ in range(4):
+            predictor.record_and_train(0x1000, False, True)
+        assert predictor.predict_low_width(0x1000)
+        predictor.correct_prediction(0x1000)
+        assert not predictor.predict_low_width(0x1000)
+
+
+class TestStats:
+    def test_accuracy_accounting(self):
+        predictor = WidthPredictor()
+        predictor.record_and_train(0, True, True)    # correct
+        predictor.record_and_train(4, True, False)   # unsafe
+        predictor.record_and_train(8, False, True)   # safe
+        predictor.record_and_train(12, False, False) # correct
+        stats = predictor.stats
+        assert stats.predictions == 4
+        assert stats.correct == 2
+        assert stats.unsafe_mispredictions == 1
+        assert stats.safe_mispredictions == 1
+        assert stats.accuracy == 0.5
+        assert stats.unsafe_rate == 0.25
+
+    def test_empty_stats(self):
+        stats = WidthPredictor().stats
+        assert stats.accuracy == 0.0
+        assert stats.unsafe_rate == 0.0
+
+    def test_observe_returns_unsafe(self):
+        predictor = WidthPredictor()
+        for _ in range(4):
+            predictor.record_and_train(0x40, False, True)
+        # Two-bit hysteresis: the saturated-low counter needs two contrary
+        # outcomes before the prediction flips to full width.
+        assert predictor.observe(0x40, actual_low=False) is True
+        assert predictor.observe(0x40, actual_low=False) is True
+        assert predictor.observe(0x40, actual_low=False) is False
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=200))
+    def test_stable_behaviour_converges(self, outcomes):
+        """On a constant-width instruction the predictor converges."""
+        predictor = WidthPredictor()
+        constant = outcomes[0]
+        for _ in range(8):
+            predictor.observe(0x100, constant)
+        assert predictor.predict_low_width(0x100) == constant
+
+    @given(st.lists(st.booleans(), min_size=10, max_size=100))
+    def test_counts_always_consistent(self, history):
+        predictor = WidthPredictor()
+        for actual in history:
+            predictor.observe(0x80, actual)
+        stats = predictor.stats
+        assert stats.predictions == len(history)
+        assert (stats.correct + stats.unsafe_mispredictions
+                + stats.safe_mispredictions) == stats.predictions

@@ -1,0 +1,134 @@
+"""Tests for the hybrid direction predictor and front-end machinery."""
+
+import pytest
+
+from repro.core.activity import ActivityCounters
+from repro.cpu.branch_predictor import FrontEndPredictor, HybridPredictor, _CounterTable
+from repro.isa.opcodes import OpClass
+
+
+class TestCounterTable:
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            _CounterTable(100)
+
+    def test_initial_weakly_not_taken(self):
+        table = _CounterTable(16)
+        assert not table.predict(0)
+
+    def test_saturation(self):
+        table = _CounterTable(16)
+        for _ in range(10):
+            table.update(3, True)
+        assert table.predict(3)
+        table.update(3, False)
+        assert table.predict(3)  # hysteresis
+
+
+class TestHybridPredictor:
+    def test_learns_always_taken(self):
+        predictor = HybridPredictor()
+        for _ in range(8):
+            predictor.update(0x100, True)
+        assert predictor.predict(0x100)
+
+    def test_learns_always_not_taken(self):
+        predictor = HybridPredictor()
+        for _ in range(8):
+            predictor.update(0x100, False)
+        assert not predictor.predict(0x100)
+
+    def test_learns_periodic_pattern(self):
+        """A period-4 pattern (TTTN) is learnable via local history."""
+        predictor = HybridPredictor()
+        pattern = [True, True, True, False]
+        # Train for several periods.
+        for i in range(200):
+            predictor.update(0x200, pattern[i % 4])
+        correct = 0
+        for i in range(200, 240):
+            outcome = pattern[i % 4]
+            if predictor.predict(0x200) == outcome:
+                correct += 1
+            predictor.update(0x200, outcome)
+        assert correct / 40 > 0.9
+
+    def test_biased_branch_tracks_bias(self):
+        import random
+        rng = random.Random(3)
+        predictor = HybridPredictor()
+        correct = 0
+        total = 400
+        for _ in range(total):
+            outcome = rng.random() < 0.85
+            if predictor.predict(0x300) == outcome:
+                correct += 1
+            predictor.update(0x300, outcome)
+        assert correct / total > 0.75
+
+
+class TestFrontEnd:
+    def make(self, thermal_herding=False):
+        return FrontEndPredictor(ActivityCounters(), thermal_herding=thermal_herding)
+
+    def test_conditional_trains_and_counts(self):
+        frontend = self.make()
+        for _ in range(6):
+            frontend.process(OpClass.BRANCH, 0x1000, True, 0x1100)
+        assert frontend.stats.conditional_branches == 6
+        outcome = frontend.process(OpClass.BRANCH, 0x1000, True, 0x1100)
+        assert not outcome.mispredicted
+
+    def test_first_taken_branch_mispredicts(self):
+        """Counters start weakly not-taken, so a first taken branch misses."""
+        frontend = self.make()
+        outcome = frontend.process(OpClass.BRANCH, 0x1000, True, 0x1100)
+        assert outcome.mispredicted
+
+    def test_btb_learns_targets(self):
+        frontend = self.make()
+        frontend.process(OpClass.JUMP, 0x1000, True, 0x2000)
+        outcome = frontend.process(OpClass.JUMP, 0x1000, True, 0x2000)
+        assert outcome.target_known
+
+    def test_call_return_ras(self):
+        frontend = self.make()
+        frontend.process(OpClass.CALL, 0x1000, True, 0x8000)
+        outcome = frontend.process(OpClass.RETURN, 0x8010, True, 0x1004)
+        assert not outcome.mispredicted
+        assert frontend.stats.ras_mispredicts == 0
+
+    def test_return_without_call_mispredicts(self):
+        frontend = self.make()
+        outcome = frontend.process(OpClass.RETURN, 0x8010, True, 0x1234)
+        assert outcome.mispredicted
+        assert frontend.stats.ras_mispredicts == 1
+
+    def test_nested_calls(self):
+        frontend = self.make()
+        frontend.process(OpClass.CALL, 0x1000, True, 0x8000)
+        frontend.process(OpClass.CALL, 0x8004, True, 0x9000)
+        inner = frontend.process(OpClass.RETURN, 0x9010, True, 0x8008)
+        outer = frontend.process(OpClass.RETURN, 0x8010, True, 0x1004)
+        assert not inner.mispredicted
+        assert not outer.mispredicted
+
+    def test_memoized_btb_far_target_bubble(self):
+        frontend = self.make(thermal_herding=True)
+        far = 0x7F00_0000_0000
+        frontend.process(OpClass.JUMP, 0x1000, True, far)  # allocate
+        outcome = frontend.process(OpClass.JUMP, 0x1000, True, far)
+        assert outcome.extra_bubbles == 1
+
+    def test_memoized_btb_near_target_free(self):
+        frontend = self.make(thermal_herding=True)
+        frontend.process(OpClass.JUMP, 0x1000, True, 0x1400)
+        outcome = frontend.process(OpClass.JUMP, 0x1000, True, 0x1400)
+        assert outcome.extra_bubbles == 0
+
+    def test_split_arrays_active_with_th(self):
+        frontend = self.make(thermal_herding=True)
+        frontend.process(OpClass.BRANCH, 0x1000, False, None)
+        assert frontend.split_arrays is not None
+        assert frontend.split_arrays.predictions == 1
+        assert frontend.split_arrays.updates == 1

@@ -1,0 +1,171 @@
+"""Tests for the cache/TLB models and the memory hierarchy."""
+
+import pytest
+
+from repro.core.activity import ActivityCounters
+from repro.cpu.caches import (
+    MemoryHierarchy,
+    SetAssociativeCache,
+    TLB,
+    build_hierarchy,
+)
+from repro.cpu.config import baseline_config
+
+
+def small_cache(assoc=2):
+    return SetAssociativeCache("c", size_bytes=assoc * 4 * 64, assoc=assoc, line_bytes=64)
+
+
+class TestSetAssociativeCache:
+    def test_first_access_misses(self):
+        cache = small_cache()
+        assert not cache.access(0x1000)
+
+    def test_second_access_hits(self):
+        cache = small_cache()
+        cache.access(0x1000)
+        assert cache.access(0x1000)
+
+    def test_same_line_hits(self):
+        cache = small_cache()
+        cache.access(0x1000)
+        assert cache.access(0x103F)
+
+    def test_next_line_misses(self):
+        cache = small_cache()
+        cache.access(0x1000)
+        assert not cache.access(0x1040)
+
+    def test_lru_eviction(self):
+        cache = small_cache(assoc=2)
+        sets = cache.num_sets
+        conflicting = [0x0, sets * 64, 2 * sets * 64]  # same set, 3 tags
+        cache.access(conflicting[0])
+        cache.access(conflicting[1])
+        cache.access(conflicting[2])  # evicts [0]
+        assert not cache.access(conflicting[0])
+
+    def test_lru_update_on_hit(self):
+        cache = small_cache(assoc=2)
+        sets = cache.num_sets
+        a, b, c = 0x0, sets * 64, 2 * sets * 64
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # a becomes MRU
+        cache.access(c)  # evicts b
+        assert cache.access(a)
+        assert not cache.access(b)
+
+    def test_probe_does_not_touch_stats(self):
+        cache = small_cache()
+        cache.access(0x1000)
+        before = cache.stats.accesses
+        assert cache.probe(0x1000)
+        assert not cache.probe(0x9999_0000)
+        assert cache.stats.accesses == before
+
+    def test_install_silent(self):
+        cache = small_cache()
+        cache.install(0x1000)
+        assert cache.stats.accesses == 0
+        assert cache.access(0x1000)
+
+    def test_install_idempotent(self):
+        cache = small_cache(assoc=2)
+        cache.access(0x0)
+        cache.install(0x0)  # must not duplicate / evict
+        sets = cache.num_sets
+        cache.access(sets * 64)
+        assert cache.access(0x0)
+
+    def test_stats(self):
+        cache = small_cache()
+        cache.access(0x0)
+        cache.access(0x0)
+        cache.access(0x4000_0000)
+        stats = cache.stats
+        assert stats.accesses == 3
+        assert stats.misses == 2
+        assert stats.hits == 1
+        assert stats.miss_rate == pytest.approx(2 / 3)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache("bad", size_bytes=0, assoc=2, line_bytes=64)
+        with pytest.raises(ValueError):
+            SetAssociativeCache("bad", size_bytes=100, assoc=3, line_bytes=64)
+
+
+class TestTLB:
+    def test_page_granularity(self):
+        tlb = TLB("t", entries=16, assoc=4, page_bytes=4096)
+        tlb.access(0x1000)
+        assert tlb.access(0x1FFF)
+        assert not tlb.access(0x2000)
+
+
+class TestMemoryHierarchy:
+    @pytest.fixture
+    def hierarchy(self):
+        return build_hierarchy(ActivityCounters(), baseline_config())
+
+    def test_l1_hit_latency(self, hierarchy):
+        hierarchy.load(0x1000)
+        result = hierarchy.load(0x1000)
+        assert result.cycles == hierarchy.l1_latency
+        assert result.level == "l1"
+
+    def test_cold_miss_goes_to_dram(self, hierarchy):
+        result = hierarchy.load(0x5000_0000)
+        assert result.level == "dram"
+        assert result.cycles >= hierarchy.dram_cycles
+
+    def test_l2_hit_after_l1_eviction(self, hierarchy):
+        cfg = baseline_config()
+        # Touch enough conflicting lines to evict from L1 but stay in L2.
+        base = 0x10_0000
+        stride = hierarchy.l1d.num_sets * 64
+        addrs = [base + i * stride for i in range(cfg.l1d_assoc + 2)]
+        for addr in addrs:
+            hierarchy.load(addr)
+        result = hierarchy.load(addrs[0])
+        assert result.level == "l2"
+        assert result.cycles == hierarchy.l1_latency + hierarchy.l2_latency
+
+    def test_next_line_prefetch(self, hierarchy):
+        hierarchy.load(0x8000)
+        result = hierarchy.load(0x8040)  # next line, prefetched
+        assert result.level == "l1"
+
+    def test_prefetch_covers_streams(self, hierarchy):
+        hierarchy.load(0x20_0000)
+        misses = 0
+        for i in range(1, 64):
+            if hierarchy.load(0x20_0000 + i * 8).level != "l1":
+                misses += 1
+        assert misses == 0
+
+    def test_tlb_miss_penalty(self, hierarchy):
+        first = hierarchy.load(0x77_0000)
+        assert first.tlb_miss
+        assert first.cycles >= hierarchy.tlb_miss_penalty
+        again = hierarchy.load(0x77_0000)
+        assert not again.tlb_miss
+
+    def test_instruction_fetch_paths(self, hierarchy):
+        first = hierarchy.instruction_fetch(0x40_0000)
+        assert first.level == "dram"
+        hit = hierarchy.instruction_fetch(0x40_0000)
+        assert hit.level == "l1"
+
+    def test_store_is_non_blocking(self, hierarchy):
+        result = hierarchy.store(0x99_0000)
+        assert result.cycles == 0
+
+    def test_activity_recorded(self):
+        counters = ActivityCounters()
+        hierarchy = build_hierarchy(counters, baseline_config())
+        hierarchy.load(0x4000)
+        assert counters.module("dtlb").total == 1
+        assert counters.module("l2_cache").total == 1
+        assert counters.module("dram").total == 1

@@ -1,0 +1,70 @@
+"""Tests for the SimulationResult container and stall accounting."""
+
+import pytest
+
+from repro.core.activity import ActivityCounters
+from repro.cpu.branch_predictor import BranchStats
+from repro.cpu.results import SimulationResult, StallBreakdown
+
+
+def make_result(instructions=1000, cycles=500, clock=2.66):
+    return SimulationResult(
+        benchmark="x",
+        benchmark_class="c",
+        config_name="base",
+        clock_ghz=clock,
+        instructions=instructions,
+        cycles=cycles,
+        activity=ActivityCounters(),
+        branch_stats=BranchStats(),
+    )
+
+
+class TestMetrics:
+    def test_ipc(self):
+        assert make_result(1000, 500).ipc == 2.0
+
+    def test_time_ns(self):
+        result = make_result(1000, 532, clock=2.66)
+        assert result.time_ns == pytest.approx(200.0)
+
+    def test_ipns(self):
+        result = make_result(1000, 500, clock=2.0)
+        assert result.ipns == pytest.approx(4.0)
+
+    def test_zero_cycles_safe(self):
+        assert make_result(0, 0).ipc == 0.0
+
+    def test_summary_has_core_fields(self):
+        text = make_result().summary()
+        assert "IPC" in text and "IPns" in text
+
+
+class TestStallBreakdown:
+    def test_total_sums_all_categories(self):
+        stalls = StallBreakdown(
+            rf_group_stalls=1,
+            alu_input_stalls=2,
+            alu_reexecutions=3,
+            dcache_width_stalls=4,
+            btb_memoization_stalls=5,
+        )
+        assert stalls.total == 15
+
+    def test_default_is_zero(self):
+        assert StallBreakdown().total == 0
+
+
+class TestBranchStats:
+    def test_direction_accuracy(self):
+        stats = BranchStats(conditional_branches=100, direction_mispredicts=8)
+        assert stats.direction_accuracy == pytest.approx(0.92)
+
+    def test_btb_hit_rate(self):
+        stats = BranchStats(btb_lookups=50, btb_misses=5)
+        assert stats.btb_hit_rate == pytest.approx(0.9)
+
+    def test_empty_stats(self):
+        stats = BranchStats()
+        assert stats.direction_accuracy == 0.0
+        assert stats.btb_hit_rate == 0.0

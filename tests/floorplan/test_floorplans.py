@@ -1,0 +1,134 @@
+"""Tests for floorplan geometry and the 2D/3D chip layouts."""
+
+import pytest
+
+from repro.floorplan.core_layout import CORE_ROWS, FILLER_BLOCKS, layout_core
+from repro.floorplan.geometry import Block, Floorplan, Rect
+from repro.floorplan.planar import CORE_HEIGHT_MM, CORE_WIDTH_MM, planar_floorplan
+from repro.floorplan.stacked import stacked_floorplan
+
+
+class TestRect:
+    def test_area(self):
+        assert Rect(0, 0, 2, 3).area_mm2 == 6
+
+    def test_center(self):
+        assert Rect(1, 1, 2, 2).center == (2, 2)
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, 0, 1)
+
+    def test_overlap_detection(self):
+        a = Rect(0, 0, 2, 2)
+        assert a.overlaps(Rect(1, 1, 2, 2))
+        assert not a.overlaps(Rect(2, 0, 1, 1))  # shares an edge only
+        assert not a.overlaps(Rect(5, 5, 1, 1))
+
+    def test_overlap_tolerates_fp_noise(self):
+        a = Rect(0, 0, 1.0000000000000002, 1)
+        b = Rect(1, 0, 1, 1)
+        assert not a.overlaps(b)
+
+
+class TestFloorplanContainer:
+    def test_add_and_find(self):
+        plan = Floorplan(name="t", width_mm=10, height_mm=10, dies=2)
+        plan.add(Block("x", Rect(0, 0, 1, 1), die=1))
+        assert plan.find("x").die == 1
+        assert plan.find("x", die=1).name == "x"
+
+    def test_find_missing(self):
+        plan = Floorplan(name="t", width_mm=10, height_mm=10, dies=1)
+        with pytest.raises(KeyError):
+            plan.find("nope")
+
+    def test_rejects_bad_die(self):
+        plan = Floorplan(name="t", width_mm=10, height_mm=10, dies=1)
+        with pytest.raises(ValueError):
+            plan.add(Block("x", Rect(0, 0, 1, 1), die=3))
+
+    def test_validate_catches_out_of_bounds(self):
+        plan = Floorplan(name="t", width_mm=5, height_mm=5, dies=1)
+        plan.add(Block("x", Rect(4, 4, 2, 2)))
+        with pytest.raises(ValueError):
+            plan.validate()
+
+    def test_validate_catches_overlap(self):
+        plan = Floorplan(name="t", width_mm=5, height_mm=5, dies=1)
+        plan.add(Block("x", Rect(0, 0, 2, 2)))
+        plan.add(Block("y", Rect(1, 1, 2, 2)))
+        with pytest.raises(ValueError):
+            plan.validate()
+
+
+class TestCoreLayout:
+    def test_row_fractions_sum_to_one(self):
+        total_height = sum(h for h, _ in CORE_ROWS)
+        assert total_height == pytest.approx(1.0)
+        for _, row in CORE_ROWS:
+            assert sum(w for _, w in row) == pytest.approx(1.0)
+
+    def test_layout_covers_core(self):
+        blocks = layout_core("c.", 0, 0, 5.0, 4.4)
+        assert sum(b.area_mm2 for b in blocks) == pytest.approx(5.0 * 4.4)
+
+    def test_prefixing(self):
+        blocks = layout_core("core7.", 0, 0, 1, 1)
+        assert all(b.name.startswith("core7.") for b in blocks)
+
+    def test_contains_activity_modules(self):
+        names = {b.name.split(".", 1)[1] for b in layout_core("c.", 0, 0, 1, 1)}
+        for module in ("scheduler", "register_file", "l1_dcache", "bypass",
+                       "alu", "rob", "btb", "dir_predictor"):
+            assert module in names
+
+    def test_fillers_are_known(self):
+        names = {b.name.split(".", 1)[1] for b in layout_core("c.", 0, 0, 1, 1)}
+        for filler in FILLER_BLOCKS:
+            assert filler in names
+
+
+class TestChipFloorplans:
+    def test_planar_validates(self):
+        planar_floorplan().validate()
+
+    def test_planar_has_two_cores_and_l2(self):
+        plan = planar_floorplan()
+        assert plan.find("core0.scheduler")
+        assert plan.find("core1.scheduler")
+        assert plan.find("l2_cache")
+        assert plan.dies == 1
+
+    def test_single_core_variant(self):
+        plan = planar_floorplan(core_count=1)
+        with pytest.raises(KeyError):
+            plan.find("core1.scheduler")
+
+    def test_stacked_validates(self):
+        stacked_floorplan().validate()
+
+    def test_stacked_replicates_blocks_per_die(self):
+        plan = stacked_floorplan()
+        for die in range(4):
+            assert plan.find("core0.register_file", die=die)
+            assert plan.find("l2_cache", die=die)
+
+    def test_stacked_footprint_quartered(self):
+        planar = planar_floorplan()
+        stacked = stacked_floorplan()
+        planar_area = planar.width_mm * planar.height_mm
+        stacked_area = stacked.width_mm * stacked.height_mm
+        assert stacked_area == pytest.approx(planar_area / 4)
+
+    def test_blocks_vertically_aligned(self):
+        """A partitioned block occupies the same (x, y) region on all dies."""
+        plan = stacked_floorplan()
+        rects = [plan.find("core0.scheduler", die=d).rect for d in range(4)]
+        assert all(r == rects[0] for r in rects)
+
+    def test_invalid_core_count(self):
+        with pytest.raises(ValueError):
+            planar_floorplan(core_count=0)
+        with pytest.raises(ValueError):
+            stacked_floorplan(core_count=0)

@@ -1,0 +1,89 @@
+"""Tests for the trace instruction record."""
+
+import pytest
+
+from repro.isa.instruction import TraceInstruction
+from repro.isa.opcodes import OpClass
+from repro.isa.values import to_unsigned
+
+
+def make_alu(result=5, srcs=(1, 2), src_values=(3, 4), pc=0x1000):
+    return TraceInstruction(
+        pc=pc, op=OpClass.IALU, srcs=srcs, dst=3,
+        result=result, src_values=src_values,
+    )
+
+
+class TestConstruction:
+    def test_memory_requires_address(self):
+        with pytest.raises(ValueError):
+            TraceInstruction(pc=0x1000, op=OpClass.LOAD, dst=1)
+
+    def test_taken_control_requires_target(self):
+        with pytest.raises(ValueError):
+            TraceInstruction(pc=0x1000, op=OpClass.BRANCH, taken=True)
+
+    def test_not_taken_branch_needs_no_target(self):
+        inst = TraceInstruction(pc=0x1000, op=OpClass.BRANCH, taken=False)
+        assert inst.next_pc == 0x1004
+
+    def test_src_values_must_match_srcs(self):
+        with pytest.raises(ValueError):
+            TraceInstruction(pc=0, op=OpClass.IALU, srcs=(1, 2), src_values=(3,))
+
+    def test_src_values_may_be_omitted(self):
+        inst = TraceInstruction(pc=0, op=OpClass.IALU, srcs=(1, 2))
+        assert inst.operands_are_low_width  # vacuously true
+
+
+class TestNextPc:
+    def test_sequential(self):
+        assert make_alu(pc=0x2000).next_pc == 0x2004
+
+    def test_taken_branch(self):
+        inst = TraceInstruction(pc=0x1000, op=OpClass.BRANCH, taken=True, target=0x1100)
+        assert inst.next_pc == 0x1100
+
+    def test_call(self):
+        inst = TraceInstruction(pc=0x1000, op=OpClass.CALL, taken=True, target=0x8000)
+        assert inst.next_pc == 0x8000
+
+
+class TestWidthProperties:
+    def test_low_width_all_narrow(self):
+        assert make_alu(result=10, src_values=(1, 2)).is_low_width
+
+    def test_wide_result_not_low(self):
+        inst = make_alu(result=1 << 20, src_values=(1, 2))
+        assert not inst.result_is_low_width
+        assert not inst.is_low_width
+
+    def test_wide_operand_not_low(self):
+        inst = make_alu(result=1, src_values=(1 << 40, 2))
+        assert inst.result_is_low_width
+        assert not inst.operands_are_low_width
+        assert not inst.is_low_width
+
+    def test_negative_small_is_low(self):
+        inst = make_alu(result=to_unsigned(-3), src_values=(to_unsigned(-1), 2))
+        assert inst.is_low_width
+
+    def test_writes_register(self):
+        assert make_alu().writes_register
+        store = TraceInstruction(
+            pc=0, op=OpClass.STORE, srcs=(1, 2), mem_addr=0x100, mem_value=5,
+        )
+        assert not store.writes_register
+
+
+class TestDescribe:
+    def test_describe_contains_pc_and_op(self):
+        text = make_alu(pc=0x1234).describe()
+        assert "0x00001234" in text
+        assert "ialu" in text
+
+    def test_describe_branch_direction(self):
+        taken = TraceInstruction(pc=0, op=OpClass.BRANCH, taken=True, target=0x40)
+        assert "(T" in taken.describe()
+        not_taken = TraceInstruction(pc=0, op=OpClass.BRANCH, taken=False)
+        assert "(NT" in not_taken.describe()

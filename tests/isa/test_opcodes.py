@@ -1,0 +1,52 @@
+"""Tests for opcode classification and functional-unit mapping."""
+
+from repro.isa.opcodes import FU_FOR_OP, FunctionalUnit, OP_LATENCY, OpClass
+
+
+class TestOpClassProperties:
+    def test_memory_ops(self):
+        assert OpClass.LOAD.is_memory
+        assert OpClass.STORE.is_memory
+        assert not OpClass.IALU.is_memory
+
+    def test_control_ops(self):
+        for op in (OpClass.BRANCH, OpClass.JUMP, OpClass.CALL, OpClass.RETURN):
+            assert op.is_control
+        assert not OpClass.LOAD.is_control
+
+    def test_only_branch_is_conditional(self):
+        assert OpClass.BRANCH.is_conditional
+        assert not OpClass.JUMP.is_conditional
+
+    def test_fp_ops(self):
+        for op in (OpClass.FADD, OpClass.FMUL, OpClass.FDIV):
+            assert op.is_fp
+            assert not op.is_integer_datapath
+
+    def test_integer_datapath_membership(self):
+        """Width prediction applies to int ALU ops, loads and stores."""
+        expected = {OpClass.IALU, OpClass.ISHIFT, OpClass.IMUL,
+                    OpClass.LOAD, OpClass.STORE}
+        actual = {op for op in OpClass if op.is_integer_datapath}
+        assert actual == expected
+
+
+class TestMappings:
+    def test_every_op_has_fu(self):
+        for op in OpClass:
+            assert op in FU_FOR_OP
+
+    def test_every_op_has_latency(self):
+        for op in OpClass:
+            assert OP_LATENCY[op] >= 1
+
+    def test_fdiv_is_longest(self):
+        assert OP_LATENCY[OpClass.FDIV] == max(OP_LATENCY.values())
+
+    def test_simple_int_single_cycle(self):
+        assert OP_LATENCY[OpClass.IALU] == 1
+        assert OP_LATENCY[OpClass.ISHIFT] == 1
+
+    def test_memory_port_assignment(self):
+        assert FU_FOR_OP[OpClass.STORE] is FunctionalUnit.LOAD_STORE_PORT
+        assert FU_FOR_OP[OpClass.LOAD] is FunctionalUnit.LOAD_PORT

@@ -1,0 +1,50 @@
+"""Tests for the register namespace."""
+
+import pytest
+
+from repro.isa.registers import (
+    FP_REG_BASE,
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    RegisterClass,
+    STACK_POINTER_REG,
+    TOTAL_REGS,
+    ZERO_REG,
+    fp_reg,
+    is_zero_reg,
+    register_class,
+)
+
+
+class TestNamespace:
+    def test_sizes(self):
+        assert TOTAL_REGS == NUM_INT_REGS + NUM_FP_REGS
+
+    def test_int_classification(self):
+        assert register_class(0) is RegisterClass.INT
+        assert register_class(NUM_INT_REGS - 1) is RegisterClass.INT
+
+    def test_fp_classification(self):
+        assert register_class(FP_REG_BASE) is RegisterClass.FP
+        assert register_class(TOTAL_REGS - 1) is RegisterClass.FP
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            register_class(TOTAL_REGS)
+        with pytest.raises(ValueError):
+            register_class(-1)
+
+    def test_fp_reg_helper(self):
+        assert fp_reg(0) == FP_REG_BASE
+        assert fp_reg(NUM_FP_REGS - 1) == TOTAL_REGS - 1
+        with pytest.raises(ValueError):
+            fp_reg(NUM_FP_REGS)
+
+    def test_special_registers_are_int(self):
+        assert register_class(ZERO_REG) is RegisterClass.INT
+        assert register_class(STACK_POINTER_REG) is RegisterClass.INT
+        assert ZERO_REG != STACK_POINTER_REG
+
+    def test_is_zero_reg(self):
+        assert is_zero_reg(ZERO_REG)
+        assert not is_zero_reg(0)

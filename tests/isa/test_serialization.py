@@ -1,0 +1,74 @@
+"""Tests for trace (de)serialization."""
+
+import gzip
+import json
+
+import pytest
+
+from repro.isa.serialization import load_trace, save_trace
+from repro.workloads.suite import generate
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    return generate("adpcm", length=400)
+
+
+class TestRoundtrip:
+    def test_roundtrip_identical(self, small_trace, tmp_path):
+        path = tmp_path / "t.jsonl.gz"
+        save_trace(small_trace, path)
+        loaded = load_trace(path)
+        assert loaded.name == small_trace.name
+        assert loaded.benchmark_class == small_trace.benchmark_class
+        assert loaded.seed == small_trace.seed
+        assert len(loaded) == len(small_trace)
+        for a, b in zip(small_trace, loaded):
+            assert a == b
+
+    def test_stats_preserved(self, small_trace, tmp_path):
+        path = tmp_path / "t.jsonl.gz"
+        save_trace(small_trace, path)
+        loaded = load_trace(path)
+        assert loaded.stats() == small_trace.stats()
+
+    def test_file_is_gzip(self, small_trace, tmp_path):
+        path = tmp_path / "t.jsonl.gz"
+        save_trace(small_trace, path)
+        with gzip.open(path, "rt") as stream:
+            header = json.loads(stream.readline())
+        assert header["format"] == "repro-trace"
+        assert header["length"] == len(small_trace)
+
+
+class TestValidation:
+    def test_rejects_non_trace_file(self, tmp_path):
+        path = tmp_path / "bogus.gz"
+        with gzip.open(path, "wt") as stream:
+            stream.write(json.dumps({"format": "something-else"}) + "\n")
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.gz"
+        with gzip.open(path, "wt") as stream:
+            stream.write("")
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_rejects_wrong_version(self, tmp_path):
+        path = tmp_path / "v99.gz"
+        with gzip.open(path, "wt") as stream:
+            stream.write(json.dumps({"format": "repro-trace", "version": 99}) + "\n")
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_rejects_truncated_body(self, small_trace, tmp_path):
+        path = tmp_path / "t.gz"
+        save_trace(small_trace, path)
+        with gzip.open(path, "rt") as stream:
+            lines = stream.readlines()
+        with gzip.open(path, "wt") as stream:
+            stream.writelines(lines[:-10])
+        with pytest.raises(ValueError):
+            load_trace(path)

@@ -1,0 +1,111 @@
+"""Tests for the trace container and summary statistics."""
+
+from repro.isa.instruction import TraceInstruction
+from repro.isa.opcodes import OpClass
+from repro.isa.trace import Trace, TraceStats
+from repro.isa.values import UpperBitsEncoding, to_unsigned
+
+
+def _alu(pc, result, src_values=()):
+    srcs = tuple(range(len(src_values)))
+    return TraceInstruction(pc=pc, op=OpClass.IALU, srcs=srcs, dst=5,
+                            result=result, src_values=src_values)
+
+
+def _load(pc, addr, value):
+    return TraceInstruction(pc=pc, op=OpClass.LOAD, srcs=(1,), dst=2,
+                            result=value, src_values=(addr,),
+                            mem_addr=addr, mem_value=value)
+
+
+def _store(pc, addr, value):
+    return TraceInstruction(pc=pc, op=OpClass.STORE, srcs=(1, 2),
+                            src_values=(addr, value),
+                            mem_addr=addr, mem_value=value)
+
+
+def _branch(pc, taken, target=None):
+    return TraceInstruction(pc=pc, op=OpClass.BRANCH, srcs=(1,), src_values=(0,),
+                            taken=taken, target=target)
+
+
+class TestTraceContainer:
+    def test_len_iter_index(self):
+        insts = [_alu(0, 1), _alu(4, 2)]
+        trace = Trace(name="t", instructions=insts)
+        assert len(trace) == 2
+        assert list(trace) == insts
+        assert trace[1] is insts[1]
+
+    def test_metadata(self):
+        trace = Trace(name="t", instructions=[], benchmark_class="MiBench", seed=7)
+        assert trace.benchmark_class == "MiBench"
+        assert trace.seed == 7
+
+
+class TestTraceStats:
+    def test_empty(self):
+        stats = TraceStats.from_instructions([])
+        assert stats.count == 0
+        assert stats.low_width_result_fraction == 0.0
+
+    def test_low_width_fraction(self):
+        insts = [_alu(0, 1), _alu(4, 1 << 40), _alu(8, 3), _alu(12, 7)]
+        stats = TraceStats.from_instructions(insts)
+        assert stats.low_width_result_fraction == 0.75
+
+    def test_operand_fraction(self):
+        insts = [_alu(0, 1, (1, 1 << 40))]
+        stats = TraceStats.from_instructions(insts)
+        assert stats.low_width_operand_fraction == 0.5
+
+    def test_branch_and_taken_fractions(self):
+        insts = [_branch(0, True, 0x40), _branch(4, False), _alu(8, 1), _alu(12, 1)]
+        stats = TraceStats.from_instructions(insts)
+        assert stats.branch_fraction == 0.5
+        assert stats.taken_fraction == 0.5
+
+    def test_memory_fraction(self):
+        insts = [_load(0, 0x1000, 5), _alu(4, 1)]
+        stats = TraceStats.from_instructions(insts)
+        assert stats.memory_fraction == 0.5
+
+    def test_pam_address_match(self):
+        """Second access with the same upper 48 bits as the last store matches."""
+        insts = [
+            _store(0, 0x2AAA_0000_1000, 5),
+            _load(4, 0x2AAA_0000_1008, 5),   # same uppers -> match
+            _load(8, 0x7FFF_0000_0000, 5),   # different -> no match
+        ]
+        stats = TraceStats.from_instructions(insts)
+        assert abs(stats.address_upper_match_fraction - 1 / 3) < 1e-9
+
+    def test_near_target_fraction(self):
+        insts = [
+            _branch(0x1000, True, 0x1100),            # same uppers
+            _branch(0x1004, True, 0x7F00_0000_0000),  # far
+        ]
+        stats = TraceStats.from_instructions(insts)
+        assert stats.near_target_fraction == 0.5
+
+    def test_encoding_mix(self):
+        insts = [
+            _store(0, 0x2AAA_0000_1000, 0),                  # ALL_ZEROS
+            _store(4, 0x2AAA_0000_1008, to_unsigned(-2)),    # ALL_ONES
+            _store(8, 0x2AAA_0000_1010, 0xDEAD_BEEF_CAFE_0001),  # LITERAL
+        ]
+        stats = TraceStats.from_instructions(insts)
+        mix = stats.dcache_encoding_mix
+        assert abs(mix[UpperBitsEncoding.ALL_ZEROS] - 1 / 3) < 1e-9
+        assert abs(mix[UpperBitsEncoding.ALL_ONES] - 1 / 3) < 1e-9
+        assert abs(mix[UpperBitsEncoding.LITERAL] - 1 / 3) < 1e-9
+
+    def test_format_is_text(self):
+        stats = TraceStats.from_instructions([_alu(0, 1)])
+        text = stats.format()
+        assert "instructions" in text
+        assert "low-width results" in text
+
+    def test_trace_stats_shortcut(self):
+        trace = Trace(name="t", instructions=[_alu(0, 1)])
+        assert trace.stats().count == 1

@@ -1,0 +1,195 @@
+"""Tests for the value-width utilities underlying all herding techniques."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.values import (
+    LOW_WIDTH_BITS,
+    VALUE_BITS,
+    WORD_BITS,
+    WORDS_PER_VALUE,
+    UpperBitsEncoding,
+    classify_upper_bits,
+    is_low_width,
+    join_words,
+    sign_extend,
+    significant_width,
+    split_words,
+    to_unsigned,
+    upper_bits,
+)
+
+u64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestSignExtend:
+    def test_positive_small(self):
+        assert sign_extend(5, 16) == 5
+
+    def test_negative_16bit(self):
+        assert sign_extend(0xFFFF, 16) == -1
+
+    def test_min_16bit(self):
+        assert sign_extend(0x8000, 16) == -(1 << 15)
+
+    def test_full_width_negative(self):
+        assert sign_extend((1 << 64) - 1) == -1
+
+    def test_full_width_positive(self):
+        assert sign_extend(123) == 123
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            sign_extend(1, 0)
+
+    def test_rejects_oversized_bits(self):
+        with pytest.raises(ValueError):
+            sign_extend(1, 65)
+
+    @given(u64)
+    def test_idempotent_at_64(self, value):
+        assert sign_extend(value) == sign_extend(to_unsigned(sign_extend(value)))
+
+
+class TestSignificantWidth:
+    def test_zero(self):
+        assert significant_width(0) == 1
+
+    def test_minus_one(self):
+        assert significant_width((1 << 64) - 1) == 1
+
+    def test_one(self):
+        assert significant_width(1) == 2
+
+    def test_boundary_low_positive(self):
+        # 0x7FFF is the largest value representable in 16 signed bits.
+        assert significant_width(0x7FFF) == 16
+        assert significant_width(0x8000) == 17
+
+    def test_boundary_low_negative(self):
+        minus_32768 = to_unsigned(-(1 << 15))
+        assert significant_width(minus_32768) == 16
+        minus_32769 = to_unsigned(-(1 << 15) - 1)
+        assert significant_width(minus_32769) == 17
+
+    def test_max_is_64(self):
+        assert significant_width(1 << 62) == 64
+
+    @given(u64)
+    def test_within_bounds(self, value):
+        assert 1 <= significant_width(value) <= VALUE_BITS
+
+    @given(st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1))
+    def test_roundtrip_through_width(self, signed):
+        """A value is recoverable from its significant_width low bits."""
+        unsigned = to_unsigned(signed)
+        width = significant_width(unsigned)
+        assert sign_extend(unsigned, width) == signed
+
+
+class TestIsLowWidth:
+    @pytest.mark.parametrize("value,expected", [
+        (0, True),
+        (1, True),
+        (0x7FFF, True),
+        (0x8000, False),
+        (to_unsigned(-1), True),
+        (to_unsigned(-(1 << 15)), True),
+        (to_unsigned(-(1 << 15) - 1), False),
+        (1 << 40, False),
+    ])
+    def test_cases(self, value, expected):
+        assert is_low_width(value) is expected
+
+    def test_custom_threshold(self):
+        assert is_low_width(100, threshold=8)
+        assert not is_low_width(200, threshold=8)
+
+    @given(u64)
+    def test_matches_significant_width(self, value):
+        assert is_low_width(value) == (significant_width(value) <= LOW_WIDTH_BITS)
+
+
+class TestWordSplitting:
+    def test_constants(self):
+        assert WORD_BITS * WORDS_PER_VALUE == VALUE_BITS
+
+    def test_split_simple(self):
+        words = split_words(0x0123_4567_89AB_CDEF)
+        assert words == (0xCDEF, 0x89AB, 0x4567, 0x0123)
+
+    def test_low_width_value_has_upper_words_zero(self):
+        words = split_words(0x1234)
+        assert words == (0x1234, 0, 0, 0)
+
+    def test_join_rejects_wrong_count(self):
+        with pytest.raises(ValueError):
+            join_words((1, 2, 3))
+
+    def test_join_rejects_oversized_word(self):
+        with pytest.raises(ValueError):
+            join_words((1 << 16, 0, 0, 0))
+
+    @given(u64)
+    def test_roundtrip(self, value):
+        assert join_words(split_words(value)) == value
+
+    @given(u64)
+    def test_lsw_on_top_die(self, value):
+        """Word 0 (the top die's word) is the least significant word."""
+        assert split_words(value)[0] == value & 0xFFFF
+
+
+class TestClassifyUpperBits:
+    def test_all_zeros(self):
+        assert classify_upper_bits(0x1234) is UpperBitsEncoding.ALL_ZEROS
+
+    def test_all_ones(self):
+        assert classify_upper_bits(to_unsigned(-5)) is UpperBitsEncoding.ALL_ONES
+
+    def test_same_as_address(self):
+        addr = 0x2AAA_0000_1000
+        value = (upper_bits(addr) << 16) | 0xBEEF
+        assert classify_upper_bits(value, addr) is UpperBitsEncoding.SAME_AS_ADDRESS
+
+    def test_literal_without_address(self):
+        assert classify_upper_bits(0xDEAD_BEEF_0000_0001) is UpperBitsEncoding.LITERAL
+
+    def test_near_pointer_without_address_is_literal(self):
+        addr = 0x2AAA_0000_1000
+        value = (upper_bits(addr) << 16) | 0xBEEF
+        assert classify_upper_bits(value) is UpperBitsEncoding.LITERAL
+
+    def test_zero_beats_address_match(self):
+        """All-zeros takes priority even when the address uppers are zero."""
+        assert classify_upper_bits(0x42, address=0x99) is UpperBitsEncoding.ALL_ZEROS
+
+    def test_is_compressed(self):
+        assert UpperBitsEncoding.ALL_ZEROS.is_compressed
+        assert UpperBitsEncoding.ALL_ONES.is_compressed
+        assert UpperBitsEncoding.SAME_AS_ADDRESS.is_compressed
+        assert not UpperBitsEncoding.LITERAL.is_compressed
+
+    @given(u64, u64)
+    def test_compressed_values_reconstructible(self, value, addr):
+        """Any compressed encoding allows exact upper-bit reconstruction."""
+        encoding = classify_upper_bits(value, addr)
+        low = value & 0xFFFF
+        if encoding is UpperBitsEncoding.ALL_ZEROS:
+            assert value == low
+        elif encoding is UpperBitsEncoding.ALL_ONES:
+            assert value == (((1 << 48) - 1) << 16) | low
+        elif encoding is UpperBitsEncoding.SAME_AS_ADDRESS:
+            assert value == (upper_bits(addr) << 16) | low
+
+
+class TestUpperBits:
+    def test_zero(self):
+        assert upper_bits(0xFFFF) == 0
+
+    def test_extracts_48(self):
+        assert upper_bits(0x0123_4567_89AB_CDEF) == 0x0123_4567_89AB
+
+    @given(u64)
+    def test_reconstruction(self, value):
+        assert (upper_bits(value) << 16) | (value & 0xFFFF) == value

@@ -1,0 +1,89 @@
+"""Tests for the power audit tooling."""
+
+import pytest
+
+from repro.power.audit import audit, composition, die_shares, format_audit, top_consumers
+from repro.power.model import (
+    ModulePower,
+    PowerBreakdown,
+    PowerModel,
+    StackKind,
+    calibrate_activity_scale,
+)
+
+
+@pytest.fixture(scope="module")
+def breakdowns(base_run, full_3d_run):
+    model = PowerModel(activity_scale=calibrate_activity_scale(base_run))
+    return (
+        model.evaluate(base_run, StackKind.PLANAR_2D),
+        model.evaluate(full_3d_run, StackKind.STACKED_3D),
+    )
+
+
+class TestAudit:
+    def test_real_breakdowns_balance(self, breakdowns):
+        for breakdown in breakdowns:
+            assert audit(breakdown) == []
+
+    def test_detects_per_die_mismatch(self, breakdowns):
+        planar, _ = breakdowns
+        broken = PowerBreakdown(
+            benchmark="x", config_name="x", stack=StackKind.STACKED_3D,
+            clock_ghz=2.0,
+            modules={"alu": ModulePower("alu", watts=4.0, per_die=[1.0, 1.0, 1.0, 0.5])},
+            clock_watts=1.0, leakage_watts=1.0,
+        )
+        findings = audit(broken)
+        assert any("per-die sum" in f.message for f in findings)
+
+    def test_detects_wrong_die_count(self):
+        broken = PowerBreakdown(
+            benchmark="x", config_name="x", stack=StackKind.STACKED_3D,
+            clock_ghz=2.0,
+            modules={"alu": ModulePower("alu", watts=1.0, per_die=[1.0])},
+            clock_watts=0.0, leakage_watts=0.0,
+        )
+        assert any("die entries" in f.message for f in audit(broken))
+
+    def test_detects_negative_power(self):
+        broken = PowerBreakdown(
+            benchmark="x", config_name="x", stack=StackKind.PLANAR_2D,
+            clock_ghz=2.0,
+            modules={"alu": ModulePower("alu", watts=-1.0, per_die=[-1.0])},
+            clock_watts=0.0, leakage_watts=0.0,
+        )
+        assert any("negative" in f.message for f in audit(broken))
+
+
+class TestSummaries:
+    def test_composition_sums_to_one(self, breakdowns):
+        for breakdown in breakdowns:
+            assert sum(composition(breakdown).values()) == pytest.approx(1.0)
+
+    def test_baseline_composition_matches_paper(self, breakdowns):
+        planar, _ = breakdowns
+        comp = composition(planar)
+        assert comp["clock"] == pytest.approx(0.35, abs=0.01)
+        assert comp["leakage"] == pytest.approx(0.20, abs=0.01)
+
+    def test_top_consumers_sorted(self, breakdowns):
+        planar, _ = breakdowns
+        top = top_consumers(planar, count=6)
+        watts = [w for _, w in top]
+        assert watts == sorted(watts, reverse=True)
+
+    def test_die_shares_sum_to_one(self, breakdowns):
+        _, stacked = breakdowns
+        assert sum(die_shares(stacked)) == pytest.approx(1.0)
+
+    def test_herded_die0_share_largest_among_lower(self, breakdowns):
+        _, stacked = breakdowns
+        shares = die_shares(stacked)
+        # Herding plus the even shared split keeps die 0 at or above the rest.
+        assert shares[0] >= max(shares[1:]) - 0.02
+
+    def test_format(self, breakdowns):
+        planar, stacked = breakdowns
+        assert "books: OK" in format_audit(planar)
+        assert "die shares" in format_audit(stacked)

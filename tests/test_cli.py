@@ -1,0 +1,48 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        sub = next(a for a in parser._actions if a.dest == "command")
+        expected = {"table2", "figure8", "figure9", "figure10", "density",
+                    "width", "dvfs", "roadmap", "report", "simulate",
+                    "trace", "list"}
+        assert expected <= set(sub.choices)
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "GHz" in out
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "mpeg2" in out
+        assert "SPECint2000" in out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "adpcm", "--length", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out
+
+    def test_simulate_unknown_config(self, capsys):
+        assert main(["simulate", "adpcm", "--config", "Warp9"]) == 2
+
+    def test_trace_roundtrip(self, tmp_path, capsys):
+        output = tmp_path / "x.jsonl.gz"
+        assert main(["trace", "adpcm", "--length", "500", "-o", str(output)]) == 0
+        assert output.exists()
+        from repro.isa.serialization import load_trace
+        assert len(load_trace(output)) == 500

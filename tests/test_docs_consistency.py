@@ -1,0 +1,59 @@
+"""Docs-vs-code consistency: the README and DESIGN must not drift."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+class TestReadme:
+    @pytest.fixture(scope="class")
+    def readme(self):
+        return (REPO / "README.md").read_text(encoding="utf-8")
+
+    def test_cli_commands_exist(self, readme):
+        from repro.cli import build_parser
+        parser = build_parser()
+        sub = next(a for a in parser._actions if a.dest == "command")
+        for command in re.findall(r"python -m repro (\w+)", readme):
+            assert command in sub.choices, f"README references unknown command {command}"
+
+    def test_example_files_exist(self, readme):
+        for script in re.findall(r"python (examples/\w+\.py)", readme):
+            assert (REPO / script).exists(), script
+
+    def test_quickstart_snippet_runs(self, readme):
+        """The README's quickstart block must execute as written."""
+        match = re.search(r"```python\n(.*?)```", readme, re.DOTALL)
+        assert match, "README lost its quickstart snippet"
+        code = match.group(1).replace("20_000", "3_000").replace("6_000", "900")
+        namespace: dict = {}
+        exec(compile(code, "README-quickstart", "exec"), namespace)
+
+
+class TestDesign:
+    @pytest.fixture(scope="class")
+    def design(self):
+        return (REPO / "DESIGN.md").read_text(encoding="utf-8")
+
+    def test_bench_targets_exist(self, design):
+        for target in set(re.findall(r"test_bench_\w+", design)):
+            matches = list((REPO / "benchmarks").glob(f"{target}*.py"))
+            direct = (REPO / "benchmarks" / f"{target}.py").exists()
+            assert direct or matches, f"DESIGN references missing bench {target}"
+
+    def test_modules_exist(self, design):
+        for module in set(re.findall(r"`(experiments/\w+\.py|circuits/\w+\.py|"
+                                     r"core/\w+\.py|thermal/\w+\.py|"
+                                     r"workloads/\w+\.py|isa/\w+\.py)`", design)):
+            assert (REPO / "src" / "repro" / module).exists(), module
+
+
+class TestTopLevelDocs:
+    def test_all_docs_present(self):
+        for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md", "ARCHITECTURE.md"):
+            path = REPO / name
+            assert path.exists(), name
+            assert len(path.read_text(encoding="utf-8")) > 500, name

@@ -1,0 +1,96 @@
+"""Tests for the leakage-temperature feedback loop."""
+
+import numpy as np
+import pytest
+
+from repro.floorplan.planar import planar_floorplan
+from repro.floorplan.stacked import stacked_floorplan
+from repro.thermal.feedback import (
+    FeedbackResult,
+    solve_with_leakage_feedback,
+    uniform_leakage_grids,
+)
+from repro.thermal.solver import ThermalSolver
+from repro.thermal.stack import planar_stack, stacked_3d_stack
+
+
+@pytest.fixture(scope="module")
+def solver():
+    return ThermalSolver(planar_stack(0.2), planar_floorplan(), 24, 24)
+
+
+def grids(solver, watts, dies=1):
+    ny, nx = solver.chip_grid_shape()
+    return [np.full((ny, nx), watts / dies / (nx * ny)) for _ in range(dies)]
+
+
+class TestFeedback:
+    def test_converges_at_moderate_power(self, solver):
+        fb = solve_with_leakage_feedback(
+            solver, grids(solver, 50.0), uniform_leakage_grids(solver, 15.0),
+            reference_k=350.0,
+        )
+        assert fb.converged
+        assert not fb.runaway
+        assert fb.iterations < 20
+
+    def test_zero_leakage_is_single_iteration_fixed_point(self, solver):
+        fb = solve_with_leakage_feedback(
+            solver, grids(solver, 50.0), uniform_leakage_grids(solver, 0.0),
+            reference_k=350.0,
+        )
+        assert fb.converged
+        assert fb.leakage_final_watts < 1e-50
+        assert fb.leakage_amplification == 1.0
+
+    def test_hotter_than_reference_amplifies(self, solver):
+        """If the chip runs above the leakage budget temperature, the
+        converged leakage exceeds the reference."""
+        fb = solve_with_leakage_feedback(
+            solver, grids(solver, 80.0), uniform_leakage_grids(solver, 15.0),
+            reference_k=318.15,
+        )
+        assert fb.leakage_amplification > 1.0
+
+    def test_cooler_than_reference_attenuates(self, solver):
+        fb = solve_with_leakage_feedback(
+            solver, grids(solver, 20.0), uniform_leakage_grids(solver, 10.0),
+            reference_k=400.0,
+        )
+        assert fb.leakage_amplification < 1.0
+
+    def test_feedback_peak_above_fixed_peak_when_amplifying(self, solver):
+        dynamic = grids(solver, 80.0)
+        leak = uniform_leakage_grids(solver, 15.0)
+        fixed = solver.solve([d + l for d, l in zip(dynamic, leak)])
+        fb = solve_with_leakage_feedback(solver, dynamic, leak, reference_k=318.15)
+        assert fb.result.peak_temperature > fixed.peak_temperature
+
+    def test_runaway_detected_not_crashed(self, solver):
+        """Extreme leakage with a cold reference must flag runaway."""
+        fb = solve_with_leakage_feedback(
+            solver, grids(solver, 150.0), uniform_leakage_grids(solver, 120.0),
+            reference_k=300.0, efold_k=10.0,
+        )
+        assert fb.runaway or fb.leakage_amplification > 5.0
+        assert np.isfinite(fb.leakage_final_watts)
+
+    def test_validation(self, solver):
+        with pytest.raises(ValueError):
+            solve_with_leakage_feedback(
+                solver, grids(solver, 10.0), [], reference_k=350.0
+            )
+        with pytest.raises(ValueError):
+            solve_with_leakage_feedback(
+                solver, grids(solver, 10.0), uniform_leakage_grids(solver, 5.0),
+                reference_k=350.0, efold_k=0.0,
+            )
+
+    def test_3d_stack_supported(self):
+        solver = ThermalSolver(stacked_3d_stack(0.2), stacked_floorplan(), 24, 24)
+        fb = solve_with_leakage_feedback(
+            solver, grids(solver, 40.0, dies=4),
+            uniform_leakage_grids(solver, 15.0), reference_k=360.0,
+        )
+        assert fb.converged
+        assert isinstance(fb, FeedbackResult)

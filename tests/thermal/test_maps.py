@@ -1,0 +1,76 @@
+"""Tests for ASCII thermal map rendering."""
+
+import numpy as np
+import pytest
+
+from repro.floorplan.planar import planar_floorplan
+from repro.thermal.maps import SHADES, hotspot_table, render_die, render_grid, render_stack
+from repro.thermal.solver import ThermalSolver
+from repro.thermal.stack import planar_stack, stacked_3d_stack
+from repro.floorplan.stacked import stacked_floorplan
+
+
+@pytest.fixture(scope="module")
+def planar_result():
+    solver = ThermalSolver(planar_stack(0.25), planar_floorplan(), nx=20, ny=20)
+    ny, nx = solver.chip_grid_shape()
+    return solver.solve([np.full((ny, nx), 60.0 / (nx * ny))])
+
+
+@pytest.fixture(scope="module")
+def stacked_result():
+    solver = ThermalSolver(stacked_3d_stack(0.25), stacked_floorplan(), nx=20, ny=20)
+    ny, nx = solver.chip_grid_shape()
+    grids = [np.full((ny, nx), 15.0 / (nx * ny)) for _ in range(4)]
+    return solver.solve(grids)
+
+
+class TestRenderGrid:
+    def test_dimensions(self):
+        grid = np.linspace(300, 400, 100).reshape(10, 10)
+        text = render_grid(grid, row_stride=1)
+        lines = text.splitlines()
+        assert len(lines) == 10
+        assert all(len(line) == 10 for line in lines)
+
+    def test_row_stride(self):
+        grid = np.zeros((10, 10))
+        assert len(render_grid(grid, row_stride=2).splitlines()) == 5
+
+    def test_extremes_use_extreme_shades(self):
+        grid = np.array([[0.0, 1.0]])
+        text = render_grid(grid, row_stride=1)
+        assert text[0] == SHADES[0]
+        assert text[1] == SHADES[-1]
+
+    def test_flat_grid_no_crash(self):
+        text = render_grid(np.full((4, 4), 350.0), row_stride=1)
+        assert len(text.splitlines()) == 4
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            render_grid(np.zeros(5))
+        with pytest.raises(ValueError):
+            render_grid(np.zeros((4, 4)), row_stride=0)
+
+
+class TestRenderResults:
+    def test_render_die(self, planar_result):
+        text = render_die(planar_result, 0)
+        assert "die 0" in text
+        assert "K" in text
+
+    def test_render_stack_all_dies(self, stacked_result):
+        text = render_stack(stacked_result)
+        for die in range(4):
+            assert f"die {die}" in text
+
+    def test_hotspot_table(self, planar_result):
+        text = hotspot_table(planar_result, top=5)
+        assert "block" in text
+        assert len(text.splitlines()) == 7  # header + rule + 5 rows
+
+    def test_hotspot_table_with_reference(self, planar_result):
+        text = hotspot_table(planar_result, top=3, reference_k=300.0)
+        assert "delta" in text
+        assert "+" in text

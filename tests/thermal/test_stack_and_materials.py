@@ -1,0 +1,79 @@
+"""Tests for thermal materials and layer stacks."""
+
+import pytest
+
+from repro.thermal.materials import COPPER, D2D_BOND, Material, SILICON, TIM_ALLOY
+from repro.thermal.stack import (
+    LayerSpec,
+    ThermalStack,
+    planar_stack,
+    stacked_3d_stack,
+)
+
+
+class TestMaterials:
+    def test_copper_most_conductive(self):
+        assert COPPER.conductivity_w_mk > SILICON.conductivity_w_mk
+        assert COPPER.conductivity_w_mk > TIM_ALLOY.conductivity_w_mk
+
+    def test_d2d_bond_is_25pct_copper(self):
+        """Paper: fully populated vias, width = half pitch -> 25% Cu."""
+        assert D2D_BOND.conductivity_w_mk == pytest.approx(
+            0.25 * COPPER.conductivity_w_mk, rel=0.05
+        )
+
+    def test_rejects_nonpositive_conductivity(self):
+        with pytest.raises(ValueError):
+            Material("bad", conductivity_w_mk=0.0)
+
+
+class TestLayerSpec:
+    def test_rejects_zero_thickness(self):
+        with pytest.raises(ValueError):
+            LayerSpec("l", SILICON, 0.0)
+
+
+class TestStacks:
+    def test_planar_has_one_power_die(self):
+        stack = planar_stack()
+        assert stack.die_count == 1
+
+    def test_3d_has_four_power_dies(self):
+        stack = stacked_3d_stack()
+        assert stack.die_count == 4
+
+    def test_3d_die_order_top_down(self):
+        """Power dies appear in order 0..3 from the sink downward."""
+        stack = stacked_3d_stack()
+        dies = [l.power_die for l in stack.layers if l.power_die is not None]
+        assert dies == [0, 1, 2, 3]
+
+    def test_3d_interface_thicknesses(self):
+        """Paper: 5 um across F2F faces, 20 um across the B2B interface."""
+        stack = stacked_3d_stack()
+        bonds = {l.name: l.thickness_m for l in stack.layers if "bond" in l.name}
+        assert bonds["bond01-f2f"] == pytest.approx(5e-6)
+        assert bonds["bond12-b2b"] == pytest.approx(20e-6)
+        assert bonds["bond23-f2f"] == pytest.approx(5e-6)
+
+    def test_lower_dies_thinned(self):
+        stack = stacked_3d_stack()
+        thicknesses = {l.name: l.thickness_m for l in stack.layers}
+        assert thicknesses["die1"] < thicknesses["die0"]
+        assert thicknesses["die1"] == pytest.approx(12e-6)
+
+    def test_validate_catches_bad_die_numbering(self):
+        stack = ThermalStack(
+            name="bad",
+            layers=[
+                LayerSpec("a", SILICON, 1e-4, power_die=0),
+                LayerSpec("b", SILICON, 1e-4, power_die=2),
+            ],
+        )
+        with pytest.raises(ValueError):
+            stack.validate()
+
+    def test_spreader_first(self):
+        for stack in (planar_stack(), stacked_3d_stack()):
+            assert stack.layers[0].name == "spreader"
+            assert stack.layers[0].material is COPPER

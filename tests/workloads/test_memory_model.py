@@ -1,0 +1,114 @@
+"""Tests for the lazy functional memory model."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.values import UpperBitsEncoding, classify_upper_bits, upper_bits
+from repro.workloads.memory_model import (
+    GLOBAL_BASE,
+    HEAP_BASE,
+    MemoryModel,
+    Region,
+    STACK_BASE,
+    WORD_BYTES,
+)
+
+UNIFORM = {"zero": 1.0, "small_pos": 0.0, "small_neg": 0.0, "near_pointer": 0.0, "wide": 0.0}
+
+
+def make_model(dist=None, footprint=1 << 20, seed=1):
+    return MemoryModel(dist or UNIFORM, footprint, random.Random(seed))
+
+
+class TestRegion:
+    def test_contains(self):
+        region = Region("r", base=100, size=50)
+        assert region.contains(100)
+        assert region.contains(149)
+        assert not region.contains(150)
+        assert not region.contains(99)
+
+    def test_align_wraps_and_aligns(self):
+        region = Region("r", base=0x1000, size=64)
+        assert region.align(0) == 0x1000
+        assert region.align(70) == 0x1000  # 70 % 64 = 6 -> word 0
+        assert region.align(9) == 0x1008
+
+    def test_region_layout_distinct_uppers(self):
+        """Stack and heap have different upper 48 bits (PAM relies on it)."""
+        assert upper_bits(STACK_BASE) != upper_bits(HEAP_BASE)
+        assert upper_bits(GLOBAL_BASE) != upper_bits(STACK_BASE)
+
+
+class TestMemoryModel:
+    def test_read_is_sticky(self):
+        model = make_model()
+        addr = HEAP_BASE + 64
+        assert model.read(addr) == model.read(addr)
+
+    def test_write_then_read(self):
+        model = make_model()
+        model.write(HEAP_BASE, 0xABCD)
+        assert model.read(HEAP_BASE) == 0xABCD
+
+    def test_write_masks_to_64_bits(self):
+        model = make_model()
+        model.write(HEAP_BASE, 1 << 70 | 5)
+        assert model.read(HEAP_BASE) == 5
+
+    def test_word_alignment(self):
+        model = make_model()
+        model.write(HEAP_BASE + 3, 7)  # unaligned write lands on word base
+        assert model.read(HEAP_BASE) == 7
+
+    def test_touched_words(self):
+        model = make_model()
+        model.read(HEAP_BASE)
+        model.read(HEAP_BASE + WORD_BYTES)
+        model.read(HEAP_BASE)  # already touched
+        assert model.touched_words() == 2
+
+    def test_zero_distribution(self):
+        model = make_model(UNIFORM)
+        values = [model.read(HEAP_BASE + i * 8) for i in range(50)]
+        assert all(v == 0 for v in values)
+
+    def test_near_pointer_distribution(self):
+        dist = {"zero": 0, "small_pos": 0, "small_neg": 0, "near_pointer": 1.0, "wide": 0}
+        model = make_model(dist)
+        for i in range(30):
+            addr = HEAP_BASE + i * 8
+            value = model.read(addr)
+            assert classify_upper_bits(value, addr) is UpperBitsEncoding.SAME_AS_ADDRESS
+
+    def test_small_neg_distribution(self):
+        dist = {"zero": 0, "small_pos": 0, "small_neg": 1.0, "near_pointer": 0, "wide": 0}
+        model = make_model(dist)
+        value = model.read(HEAP_BASE)
+        assert classify_upper_bits(value) is UpperBitsEncoding.ALL_ONES
+
+    def test_wide_distribution(self):
+        dist = {"zero": 0, "small_pos": 0, "small_neg": 0, "near_pointer": 0, "wide": 1.0}
+        model = make_model(dist)
+        for i in range(20):
+            value = model.read(HEAP_BASE + i * 8)
+            assert value >> 48  # upper bits populated
+
+    def test_rejects_empty_distribution(self):
+        with pytest.raises(ValueError):
+            make_model({"zero": 0.0})
+
+    def test_determinism(self):
+        a = make_model(seed=42)
+        b = make_model(seed=42)
+        addrs = [HEAP_BASE + i * 8 for i in range(20)]
+        assert [a.read(x) for x in addrs] == [b.read(x) for x in addrs]
+
+    @given(st.integers(min_value=0, max_value=(1 << 20) - 8))
+    def test_read_write_roundtrip(self, offset):
+        model = make_model()
+        addr = HEAP_BASE + offset
+        model.write(addr, 0x1234_5678)
+        assert model.read(addr) == 0x1234_5678

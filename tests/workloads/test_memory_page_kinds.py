@@ -1,0 +1,62 @@
+"""Tests for page-granular value kinds and cursor behaviours."""
+
+import random
+
+from repro.isa.values import is_low_width
+from repro.workloads.memory_model import HEAP_BASE, MemoryModel
+from repro.workloads.parameters import CLASS_PARAMETERS, BenchmarkClass
+
+
+def make_model(dist, seed=7, footprint=1 << 22):
+    return MemoryModel(dist, footprint, random.Random(seed))
+
+
+class TestPageKinds:
+    MIXED = {"zero": 0.4, "small_pos": 0.0, "small_neg": 0.0,
+             "near_pointer": 0.0, "wide": 0.6}
+
+    def test_words_within_page_share_kind(self):
+        """An array page is homogeneous: all its words classify alike."""
+        model = make_model(self.MIXED)
+        for page in range(16):
+            base = HEAP_BASE + page * 4096
+            widths = {is_low_width(model.read(base + i * 8)) for i in range(32)}
+            assert len(widths) == 1, f"page {page} mixed widths"
+
+    def test_different_pages_differ(self):
+        """Across many pages both kinds appear (the mix is respected)."""
+        model = make_model(self.MIXED)
+        kinds = set()
+        for page in range(64):
+            value = model.read(HEAP_BASE + page * 4096)
+            kinds.add(is_low_width(value))
+        assert kinds == {True, False}
+
+    def test_page_kind_deterministic_across_instances(self):
+        a = make_model(self.MIXED, seed=3)
+        b = make_model(self.MIXED, seed=3)
+        for page in range(16):
+            addr = HEAP_BASE + page * 4096
+            assert is_low_width(a.read(addr)) == is_low_width(b.read(addr))
+
+    def test_seed_changes_page_layout(self):
+        a = make_model(self.MIXED, seed=1)
+        b = make_model(self.MIXED, seed=2)
+        pattern_a = [is_low_width(a.read(HEAP_BASE + p * 4096)) for p in range(64)]
+        pattern_b = [is_low_width(b.read(HEAP_BASE + p * 4096)) for p in range(64)]
+        assert pattern_a != pattern_b
+
+    def test_writes_override_page_kind(self):
+        model = make_model({"zero": 1.0})
+        addr = HEAP_BASE + 8
+        model.write(addr, 0xDEAD_BEEF_0000_0001)
+        assert model.read(addr) == 0xDEAD_BEEF_0000_0001
+
+
+class TestClassDistributions:
+    def test_all_class_dists_valid(self):
+        """Every shipped class distribution constructs a memory model."""
+        for klass, params in CLASS_PARAMETERS.items():
+            model = make_model(params.value_dist, footprint=params.footprint_bytes
+                               if params.footprint_bytes < (1 << 22) else 1 << 22)
+            assert model.read(HEAP_BASE) >= 0, klass

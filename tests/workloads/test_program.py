@@ -1,0 +1,133 @@
+"""Tests for the synthetic static program builder."""
+
+import random
+
+from repro.isa.opcodes import OpClass
+from repro.workloads.memory_model import AccessPattern
+from repro.workloads.parameters import CLASS_PARAMETERS, BenchmarkClass, WorkloadParameters
+from repro.workloads.program import (
+    CODE_BASE,
+    FAR_CODE_BASE,
+    InstTemplate,
+    ValueKind,
+    build_program,
+)
+
+PARAMS = CLASS_PARAMETERS[BenchmarkClass.MEDIABENCH]
+
+
+def build(seed=1, params=PARAMS):
+    return build_program(params, seed)
+
+
+class TestStructure:
+    def test_loop_count_matches_params(self):
+        program = build()
+        assert len(program.loops) == PARAMS.loop_count
+
+    def test_leaves_exist(self):
+        assert len(build().leaves) >= 3
+
+    def test_static_count_positive(self):
+        program = build()
+        assert program.static_instruction_count() > PARAMS.loop_count * 6
+
+    def test_deterministic(self):
+        a, b = build(seed=9), build(seed=9)
+        pcs_a = [t.pc for loop in a.loops for t in loop.body]
+        pcs_b = [t.pc for loop in b.loops for t in loop.body]
+        assert pcs_a == pcs_b
+
+    def test_different_seeds_differ(self):
+        a, b = build(seed=1), build(seed=2)
+        ops_a = [t.op for loop in a.loops for t in loop.body]
+        ops_b = [t.op for loop in b.loops for t in loop.body]
+        assert ops_a != ops_b
+
+
+class TestPCs:
+    def test_pcs_unique_and_aligned(self):
+        program = build()
+        pcs = [t.pc for loop in program.loops for t in loop.body]
+        pcs += [loop.back_edge.pc for loop in program.loops]
+        for leaf in program.leaves:
+            pcs += [t.pc for t in leaf.body] + [leaf.ret.pc]
+        assert len(pcs) == len(set(pcs))
+        assert all(pc % 4 == 0 for pc in pcs)
+
+    def test_near_code_in_main_region(self):
+        program = build()
+        for loop in program.loops:
+            for template in loop.body:
+                assert CODE_BASE <= template.pc < FAR_CODE_BASE
+
+    def test_far_leaves_in_far_region(self):
+        # Force far leaves via a high far_target_fraction.
+        import dataclasses
+        params = dataclasses.replace(PARAMS, far_target_fraction=0.25)
+        program = build_program(params, seed=3)
+        far_leaves = [leaf for leaf in program.leaves if leaf.far]
+        assert far_leaves, "expected at least one far leaf at 25% far fraction"
+        for leaf in far_leaves:
+            assert leaf.entry_pc >= FAR_CODE_BASE
+
+
+class TestBranches:
+    def test_skip_counts_stay_in_body(self):
+        program = build()
+        for loop in program.loops:
+            for i, template in enumerate(loop.body):
+                if template.op is OpClass.BRANCH:
+                    assert i + template.skip_count + 1 <= len(loop.body)
+
+    def test_back_edges_marked(self):
+        program = build()
+        for loop in program.loops:
+            assert loop.back_edge.is_back_edge
+            assert loop.back_edge.op is OpClass.BRANCH
+
+    def test_periodic_branches_exist(self):
+        program = build()
+        periods = [
+            t.pattern_period
+            for loop in program.loops
+            for t in loop.body
+            if t.op is OpClass.BRANCH and t.pattern_period
+        ]
+        assert periods, "expected some periodic branches"
+        assert all(2 <= p <= 9 for p in periods)
+
+
+class TestMemoryTemplates:
+    def test_memory_ops_have_cursors(self):
+        program = build()
+        for loop in program.loops:
+            for template in loop.body:
+                if template.op.is_memory:
+                    assert template.pattern is not None
+                    assert template.cursor_id is not None
+
+    def test_chase_loads_self_feed(self):
+        """A chase load writes its own address register."""
+        program = build_program(
+            CLASS_PARAMETERS[BenchmarkClass.POINTER], seed=11
+        )
+        chases = [
+            t for loop in program.loops for t in loop.body
+            if t.op is OpClass.LOAD and t.pattern is AccessPattern.CHASE
+        ]
+        assert chases, "pointer class should produce chase loads"
+        for template in chases:
+            assert template.dst == template.srcs[0]
+
+    def test_cursor_ids_unique(self):
+        program = build()
+        ids = [
+            t.cursor_id for loop in program.loops for t in loop.body
+            if t.cursor_id is not None
+        ]
+        # Address-update + memory-op pairs share a cursor.
+        from collections import Counter
+        counts = Counter(ids)
+        assert all(c <= 2 for c in counts.values())
+        assert max(ids) < program.cursor_count

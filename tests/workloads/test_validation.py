@@ -1,0 +1,67 @@
+"""Tests for workload characterization validation — and the suite itself."""
+
+import pytest
+
+from repro.isa.builder import TraceBuilder
+from repro.workloads.parameters import BenchmarkClass
+from repro.workloads.suite import BENCHMARKS, generate
+from repro.workloads.validation import (
+    CLASS_EXPECTATIONS,
+    ClassExpectations,
+    validate_suite,
+    validate_trace,
+)
+
+
+class TestMechanics:
+    def test_violation_reported(self):
+        expectations = ClassExpectations(
+            low_width_results=(0.99, 1.0),
+            memory_fraction=(0.0, 1.0),
+            branch_fraction=(0.0, 1.0),
+            near_targets=(0.0, 1.0),
+        )
+        trace = TraceBuilder().alu(1, 1 << 40).build()
+        violations = expectations.check(trace.stats())
+        assert violations
+        assert "low_width_results" in violations[0]
+
+    def test_unknown_class_needs_explicit_expectations(self):
+        trace = TraceBuilder().alu(1, 1).build()  # class "microbench"
+        with pytest.raises(ValueError):
+            validate_trace(trace)
+
+    def test_explicit_expectations_accepted(self):
+        trace = TraceBuilder().alu(1, 1).build()
+        wide_open = ClassExpectations(
+            low_width_results=(0.0, 1.0),
+            memory_fraction=(0.0, 1.0),
+            branch_fraction=(0.0, 1.0),
+            near_targets=(0.0, 1.0),
+        )
+        assert validate_trace(trace, wide_open) == []
+
+    def test_all_classes_have_expectations(self):
+        assert set(CLASS_EXPECTATIONS) == set(BenchmarkClass)
+
+
+class TestSuiteCharacterization:
+    """The real check: every shipped benchmark fits its class's bands."""
+
+    @pytest.fixture(scope="class")
+    def suite(self):
+        return [generate(name, length=6000) for name in BENCHMARKS]
+
+    def test_whole_suite_validates(self, suite):
+        report = validate_suite(suite)
+        assert report == {}, f"workload characterization drift: {report}"
+
+    def test_media_is_narrowest_class(self, suite):
+        by_class = {}
+        for trace in suite:
+            by_class.setdefault(trace.benchmark_class, []).append(
+                trace.stats().low_width_result_fraction
+            )
+        media = sum(by_class["MediaBench"]) / 4
+        pointer = sum(by_class["Pointer"]) / 4
+        assert media > pointer + 0.1
