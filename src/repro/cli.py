@@ -3,26 +3,35 @@
 Usage::
 
     python -m repro table2
-    python -m repro figure8  [--fast]
-    python -m repro figure9  [--fast]
-    python -m repro figure10 [--fast]
-    python -m repro density  [--fast]
-    python -m repro width    [--fast]
-    python -m repro dvfs     [--fast]
-    python -m repro roadmap  [--fast]
-    python -m repro leakage  [--fast]
-    python -m repro pairing  [--fast]
-    python -m repro report   [--fast] [-o report.md]
+    python -m repro figure8  [--fast] [--jobs N]
+    python -m repro figure9  [--fast] [--jobs N]
+    python -m repro figure10 [--fast] [--jobs N]
+    python -m repro density  [--fast] [--jobs N]
+    python -m repro width    [--fast] [--jobs N]
+    python -m repro dvfs     [--fast] [--jobs N]
+    python -m repro roadmap  [--fast] [--jobs N]
+    python -m repro leakage  [--fast] [--jobs N]
+    python -m repro pairing  [--fast] [--jobs N]
+    python -m repro sensitivity [--fast] [--jobs N]
+    python -m repro transient   [--fast] [--jobs N]
+    python -m repro stacking    [--fast] [--jobs N]
+    python -m repro mechanisms
+    python -m repro report   [--fast] [--jobs N] [-o report.md]
     python -m repro simulate BENCHMARK [--config 3D] [--length N]
     python -m repro trace BENCHMARK [--length N] [-o trace.jsonl.gz]
+    python -m repro cache [info|list|clear]
     python -m repro list
 
 ``--fast`` runs a reduced benchmark set at shorter trace lengths.
+``--jobs N`` (or ``REPRO_JOBS``) fans simulations out across N worker
+processes; results are also persisted in ``.repro_cache/`` so warm
+reruns simulate nothing (``REPRO_CACHE=0`` opts out).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -52,7 +61,7 @@ FAST_SETTINGS = ExperimentSettings(
 
 def _context(args) -> ExperimentContext:
     settings = FAST_SETTINGS if args.fast else ExperimentSettings()
-    return ExperimentContext(settings)
+    return ExperimentContext(settings, jobs=getattr(args, "jobs", None))
 
 
 def _cmd_table2(args) -> int:
@@ -102,6 +111,48 @@ def _cmd_leakage(args) -> int:
 
 def _cmd_pairing(args) -> int:
     print(run_pairing(_context(args)).format())
+    return 0
+
+
+def _cmd_sensitivity(args) -> int:
+    from repro.experiments.sensitivity import run_sensitivity
+    print(run_sensitivity(_context(args)).format())
+    return 0
+
+
+def _cmd_transient(args) -> int:
+    from repro.experiments.transient_response import run_transient_response
+    print(run_transient_response(_context(args)).format())
+    return 0
+
+
+def _cmd_stacking(args) -> int:
+    from repro.experiments.stacking_order import run_stacking_order
+    print(run_stacking_order(_context(args)).format())
+    return 0
+
+
+def _cmd_mechanisms(args) -> int:
+    from repro.experiments.mechanisms import run_mechanisms
+    print(run_mechanisms().format())
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.experiments.cache import ResultCache
+
+    cache = ResultCache()
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached results from {cache.root}")
+    elif args.action == "list":
+        entries = cache.entries()
+        for path in entries:
+            size = path.stat().st_size
+            print(f"{path.name.split('.')[0]}  {size / 1024:7.1f} KiB")
+        print(f"{len(entries)} entries, {cache.size_bytes() / 1024:.1f} KiB total")
+    else:
+        print(cache.describe())
     return 0
 
 
@@ -167,6 +218,9 @@ def build_parser() -> argparse.ArgumentParser:
         if fast:
             p.add_argument("--fast", action="store_true",
                            help="reduced benchmark set / shorter traces")
+            p.add_argument("-j", "--jobs", type=int, default=None, metavar="N",
+                           help="simulation worker processes "
+                                "(default: $REPRO_JOBS or all cores)")
         p.set_defaults(fn=fn)
         return p
 
@@ -180,9 +234,20 @@ def build_parser() -> argparse.ArgumentParser:
     add("roadmap", _cmd_roadmap, "Figure 2 roadmap design points")
     add("leakage", _cmd_leakage, "leakage-temperature feedback fixed point")
     add("pairing", _cmd_pairing, "heterogeneous core pairing thermals")
+    add("sensitivity", _cmd_sensitivity, "packaging-parameter thermal sensitivity")
+    add("transient", _cmd_transient, "transient step-response of both stacks")
+    add("stacking", _cmd_stacking, "die stacking-order ablation")
+    add("mechanisms", _cmd_mechanisms,
+        "per-mechanism microbenchmark validation", fast=False)
 
     report = add("report", _cmd_report, "full markdown report of all experiments")
     report.add_argument("-o", "--output", help="write the report to a file")
+
+    cache = add("cache", _cmd_cache, "inspect or clear the on-disk result cache",
+                fast=False)
+    cache.add_argument("action", nargs="?", default="info",
+                       choices=("info", "list", "clear"),
+                       help="what to do (default: info)")
 
     sim = add("simulate", _cmd_simulate, "simulate one benchmark", fast=False)
     sim.add_argument("benchmark")
@@ -200,7 +265,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Output was piped to a consumer that exited early (e.g. `| head`).
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

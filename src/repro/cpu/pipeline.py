@@ -43,6 +43,10 @@ from repro.isa.opcodes import OpClass, OP_LATENCY
 from repro.isa.trace import Trace
 from repro.isa.values import is_low_width
 
+#: Timing-model version, part of the on-disk result-cache key.  Bump on
+#: any change that alters simulation outcomes so stale entries never hit.
+SIMULATOR_VERSION = 1
+
 
 class _Pool:
     """A pool of identical functional units, tracked by next-free cycle."""
@@ -50,17 +54,16 @@ class _Pool:
     def __init__(self, units: int):
         if units < 1:
             raise ValueError(f"pool needs at least one unit, got {units}")
-        self._free = [0] * units
+        self._free = [0] * units  # min-heap of next-free cycles
 
     def acquire(self, earliest: int, busy: int = 1) -> int:
         """Reserve the unit that frees soonest; returns the start cycle."""
-        index = min(range(len(self._free)), key=self._free.__getitem__)
-        start = max(earliest, self._free[index])
-        self._free[index] = start + busy
+        start = max(earliest, self._free[0])
+        heapq.heapreplace(self._free, start + busy)
         return start
 
     def earliest_free(self) -> int:
-        return min(self._free)
+        return self._free[0]
 
 
 class TimingSimulator:

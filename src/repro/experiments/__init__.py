@@ -19,7 +19,12 @@ All experiments share an :class:`~repro.experiments.context.ExperimentContext`
 that caches traces, simulation runs, and the calibrated power model.
 """
 
-from repro.experiments.context import ExperimentContext, ExperimentSettings
+from repro.experiments.cache import ResultCache
+from repro.experiments.context import (
+    ContextStats,
+    ExperimentContext,
+    ExperimentSettings,
+)
 from repro.experiments.table2 import run_table2, Table2Result
 from repro.experiments.figure8 import run_figure8, Figure8Result
 from repro.experiments.figure9 import run_figure9, Figure9Result
@@ -28,8 +33,10 @@ from repro.experiments.power_density import run_power_density, PowerDensityResul
 from repro.experiments.width_stats import run_width_stats, WidthStatsResult
 
 __all__ = [
+    "ContextStats",
     "ExperimentContext",
     "ExperimentSettings",
+    "ResultCache",
     "run_table2",
     "Table2Result",
     "run_figure8",

@@ -1,0 +1,214 @@
+"""Persistent on-disk cache of simulation results.
+
+Every figure consumes the same (benchmark x configuration) grid of
+trace-replay simulations, and those simulations are deterministic: the
+trace is a pure function of (benchmark name, length, seed) and the timing
+model is a pure function of (trace, config, warmup).  The cache exploits
+that determinism to make repeated CLI invocations, benchmark sessions,
+and report regenerations hit disk instead of re-simulating.
+
+Layout::
+
+    .repro_cache/
+        v1/                     <- one directory per key-schema version
+            ab/
+                ab3f...e2.pkl.gz   <- one gzip-compressed pickled
+                                      SimulationResult per key
+
+Keys are SHA-256 content hashes over everything a simulation's outcome
+depends on: the key-schema version, the workload-generator version, the
+timing-simulator version, the benchmark name, the fidelity knobs
+(trace length, warmup), and every field of the :class:`CPUConfig`.
+Changing any of these yields a different key, so stale entries are never
+*returned* — and bumping :data:`CACHE_SCHEMA_VERSION` moves the cache to
+a fresh ``v<N>/`` directory, leaving old versions inert until
+``python -m repro cache clear`` (or :meth:`ResultCache.prune_stale`)
+removes them.
+
+The cache is on by default; ``REPRO_CACHE=0`` disables it and
+``REPRO_CACHE_DIR`` relocates it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import gzip
+import hashlib
+import json
+import os
+import pickle
+import shutil
+from pathlib import Path
+from typing import Iterator, List, Optional
+
+from repro.cpu.config import CPUConfig
+from repro.cpu.results import SimulationResult
+
+#: Bump when the cache key schema or the pickled payload layout changes.
+CACHE_SCHEMA_VERSION = 1
+
+#: Default cache directory (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Environment variable relocating the cache directory.
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+#: Environment variable disabling the cache ("0", "off", "no", "false").
+ENV_CACHE_ENABLED = "REPRO_CACHE"
+
+_DISABLED_VALUES = frozenset({"0", "off", "no", "false"})
+
+
+def _canonical(value):
+    """JSON-serializable canonical form of a config field value."""
+    if isinstance(value, enum.Enum):
+        return f"{type(value).__name__}.{value.name}"
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    return value
+
+
+def simulation_key(
+    benchmark: str,
+    config: CPUConfig,
+    trace_length: int,
+    warmup: int,
+) -> str:
+    """Content hash identifying one deterministic simulation."""
+    from repro.cpu.pipeline import SIMULATOR_VERSION
+    from repro.workloads.emulator import GENERATOR_VERSION
+
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "simulator": SIMULATOR_VERSION,
+        "generator": GENERATOR_VERSION,
+        "benchmark": benchmark,
+        "trace_length": trace_length,
+        "warmup": warmup,
+        "config": _canonical(dataclasses.asdict(config)),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Load/store :class:`SimulationResult` objects keyed by content hash."""
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        if root is None:
+            root = os.environ.get(ENV_CACHE_DIR) or DEFAULT_CACHE_DIR
+        self.root = Path(root)
+        self.version_dir = self.root / f"v{CACHE_SCHEMA_VERSION}"
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    @classmethod
+    def from_env(cls) -> Optional["ResultCache"]:
+        """The default cache, or ``None`` when disabled via REPRO_CACHE."""
+        flag = os.environ.get(ENV_CACHE_ENABLED, "").strip().lower()
+        if flag in _DISABLED_VALUES:
+            return None
+        return cls()
+
+    # ------------------------------------------------------------------ #
+
+    def _path(self, key: str) -> Path:
+        return self.version_dir / key[:2] / f"{key}.pkl.gz"
+
+    def load(self, key: str) -> Optional[SimulationResult]:
+        """The cached result for ``key``, or ``None`` on a miss.
+
+        Unreadable entries (truncated writes, incompatible pickles) are
+        deleted and treated as misses.
+        """
+        path = self._path(key)
+        try:
+            with gzip.open(path, "rb") as stream:
+                result = pickle.load(stream)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, EOFError, pickle.UnpicklingError,
+                AttributeError, ImportError, IndexError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        if not isinstance(result, SimulationResult):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, key: str, result: SimulationResult) -> None:
+        """Persist ``result`` under ``key`` (atomic within a filesystem)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            with gzip.open(tmp, "wb") as stream:
+                pickle.dump(result, stream, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except OSError:
+            # A read-only or full filesystem degrades to cacheless operation.
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return
+        self.stores += 1
+
+    # ------------------------------------------------------------------ #
+
+    def entries(self) -> List[Path]:
+        """All entry files of the current schema version, sorted."""
+        if not self.version_dir.is_dir():
+            return []
+        return sorted(self.version_dir.glob("*/*.pkl.gz"))
+
+    def stale_version_dirs(self) -> List[Path]:
+        """``v<N>/`` directories left behind by older key schemas."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            p for p in self.root.iterdir()
+            if p.is_dir() and p.name.startswith("v") and p != self.version_dir
+        )
+
+    def size_bytes(self) -> int:
+        return sum(p.stat().st_size for p in self.entries())
+
+    def clear(self) -> int:
+        """Remove the whole cache directory; returns the entry count removed."""
+        count = len(self.entries())
+        if self.root.is_dir():
+            shutil.rmtree(self.root, ignore_errors=True)
+        return count
+
+    def prune_stale(self) -> int:
+        """Remove entries from older schema versions; returns dirs removed."""
+        stale = self.stale_version_dirs()
+        for directory in stale:
+            shutil.rmtree(directory, ignore_errors=True)
+        return len(stale)
+
+    def describe(self) -> str:
+        """Human-readable cache summary for the CLI."""
+        entries = self.entries()
+        lines = [
+            f"cache directory: {self.root.resolve()}",
+            f"key schema:      v{CACHE_SCHEMA_VERSION}",
+            f"entries:         {len(entries)}",
+            f"size:            {self.size_bytes() / 1024:.1f} KiB",
+        ]
+        stale = self.stale_version_dirs()
+        if stale:
+            names = ", ".join(p.name for p in stale)
+            lines.append(f"stale versions:  {names} (run `repro cache clear`)")
+        return "\n".join(lines)

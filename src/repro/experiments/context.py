@@ -4,16 +4,30 @@ The paper's evaluation reuses the same simulation runs across figures
 (e.g. mpeg2's Base run both anchors the 90 W power calibration and feeds
 Figure 8); the context memoizes everything so the benchmark harness does
 each piece of work once per process.
+
+Two additional layers make repeated and large evaluations cheap:
+
+* a **persistent on-disk cache** (:mod:`repro.experiments.cache`) keyed
+  by a content hash of the benchmark, fidelity knobs, configuration, and
+  generator/simulator versions, so repeated CLI/benchmark/report runs
+  hit disk instead of re-simulating;
+* a **parallel dispatcher**: :meth:`ExperimentContext.prefetch` fans
+  pending simulations out across a :class:`ProcessPoolExecutor`
+  (``jobs`` argument, ``REPRO_JOBS`` environment variable, default
+  ``os.cpu_count()``).  Simulations are deterministic, so the parallel
+  path produces results identical to the serial one.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.cpu.config import CPUConfig, paper_configurations
 from repro.cpu.pipeline import simulate
 from repro.cpu.results import SimulationResult
+from repro.experiments.cache import ResultCache, simulation_key
 from repro.floorplan import Floorplan, planar_floorplan, stacked_floorplan
 from repro.isa.trace import Trace
 from repro.power.model import (
@@ -32,6 +46,9 @@ REFERENCE_BENCHMARK = "mpeg2"
 #: Number of cores on the chip (Table 1 context / Figure 9).
 CORE_COUNT = 2
 
+#: Environment variable setting the default simulation worker count.
+ENV_JOBS = "REPRO_JOBS"
+
 #: Configuration labels -> whether they are evaluated as a 3D stack.
 CONFIG_STACKS: Dict[str, StackKind] = {
     "Base": StackKind.PLANAR_2D,
@@ -41,6 +58,9 @@ CONFIG_STACKS: Dict[str, StackKind] = {
     "3D": StackKind.STACKED_3D,
     "3D-noTH": StackKind.STACKED_3D,
 }
+
+#: Sentinel: "build the default cache from the environment".
+_AUTO_CACHE = object()
 
 
 @dataclass(frozen=True)
@@ -60,6 +80,16 @@ class ExperimentSettings:
         return benchmark_names()
 
 
+@dataclass
+class ContextStats:
+    """Where this context's simulation results came from."""
+
+    #: simulations actually executed (serial or in workers)
+    simulated: int = 0
+    #: results served from the on-disk cache
+    disk_hits: int = 0
+
+
 def _all_configurations() -> Dict[str, CPUConfig]:
     """The five paper configurations plus the 3D-without-herding variant."""
     configs = {label: pc.config for label, pc in paper_configurations().items()}
@@ -67,14 +97,48 @@ def _all_configurations() -> Dict[str, CPUConfig]:
     return configs
 
 
+def _resolve_jobs(jobs: Optional[int]) -> int:
+    """Worker count: explicit argument > REPRO_JOBS > os.cpu_count()."""
+    if jobs is not None:
+        return max(1, int(jobs))
+    env = os.environ.get(ENV_JOBS, "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+def _simulate_task(
+    benchmark: str, config: CPUConfig, trace_length: int, warmup: int
+) -> SimulationResult:
+    """Worker entry point: regenerate the (deterministic) trace and run."""
+    trace = generate(benchmark, length=trace_length)
+    return simulate(trace, config, warmup=warmup)
+
+
 class ExperimentContext:
     """Memoizing facade over the whole simulation pipeline."""
 
-    def __init__(self, settings: Optional[ExperimentSettings] = None):
+    def __init__(
+        self,
+        settings: Optional[ExperimentSettings] = None,
+        *,
+        jobs: Optional[int] = None,
+        cache=_AUTO_CACHE,
+    ):
         self.settings = settings or ExperimentSettings()
         self.configs = _all_configurations()
+        self.jobs = _resolve_jobs(jobs)
+        self.cache: Optional[ResultCache] = (
+            ResultCache.from_env() if cache is _AUTO_CACHE else cache
+        )
+        self.stats = ContextStats()
         self._traces: Dict[str, Trace] = {}
         self._runs: Dict[Tuple[str, str], SimulationResult] = {}
+        self._config_runs: Dict[Tuple[str, str], SimulationResult] = {}
+        self._thermals: Dict[Tuple[str, str], ThermalResult] = {}
         self._power_model: Optional[PowerModel] = None
         self._floorplans: Dict[StackKind, Floorplan] = {}
         self._solvers: Dict[StackKind, ThermalSolver] = {}
@@ -88,20 +152,153 @@ class ExperimentContext:
             self._traces[benchmark] = trace
         return trace
 
+    def _config_for(self, config_label: str) -> CPUConfig:
+        config = self.configs.get(config_label)
+        if config is None:
+            raise KeyError(
+                f"unknown configuration {config_label!r}; "
+                f"known: {', '.join(self.configs)}"
+            )
+        return config
+
+    def _cache_key(self, benchmark: str, config: CPUConfig) -> str:
+        return simulation_key(
+            benchmark, config, self.settings.trace_length, self.settings.warmup
+        )
+
+    def _load_or_simulate(self, benchmark: str, config: CPUConfig) -> SimulationResult:
+        """One simulation, served from disk when possible."""
+        key = self._cache_key(benchmark, config)
+        if self.cache is not None:
+            cached = self.cache.load(key)
+            if cached is not None:
+                self.stats.disk_hits += 1
+                return cached
+        result = simulate(self.trace(benchmark), config, warmup=self.settings.warmup)
+        self.stats.simulated += 1
+        if self.cache is not None:
+            self.cache.store(key, result)
+        return result
+
     def run(self, benchmark: str, config_label: str) -> SimulationResult:
         """The (cached) simulation of one benchmark under one configuration."""
         key = (benchmark, config_label)
         result = self._runs.get(key)
         if result is None:
-            config = self.configs.get(config_label)
-            if config is None:
-                raise KeyError(
-                    f"unknown configuration {config_label!r}; "
-                    f"known: {', '.join(self.configs)}"
-                )
-            result = simulate(self.trace(benchmark), config, warmup=self.settings.warmup)
+            result = self._load_or_simulate(benchmark, self._config_for(config_label))
             self._runs[key] = result
         return result
+
+    def run_config(self, benchmark: str, config: CPUConfig) -> SimulationResult:
+        """Like :meth:`run` for an ad-hoc configuration object.
+
+        Used by sweeps (DVFS, roadmap stages, shared-L2 core pairing)
+        whose configurations are not among the six labelled ones; results
+        are memoized by content hash and persisted like labelled runs.
+        """
+        key = (benchmark, self._cache_key(benchmark, config))
+        result = self._config_runs.get(key)
+        if result is None:
+            result = self._load_or_simulate(benchmark, config)
+            self._config_runs[key] = result
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Parallel prefetching
+
+    def grid(
+        self,
+        config_labels: Optional[Sequence[str]] = None,
+        benchmarks: Optional[Sequence[str]] = None,
+    ) -> List[Tuple[str, str]]:
+        """The full (benchmark, config label) evaluation grid."""
+        labels = list(config_labels) if config_labels is not None else list(self.configs)
+        names = list(benchmarks) if benchmarks is not None else self.settings.benchmark_list()
+        return [(benchmark, label) for benchmark in names for label in labels]
+
+    def prefetch(self, pairs: Iterable[Tuple[str, str]]) -> None:
+        """Materialize many labelled runs, simulating misses in parallel."""
+        items = []
+        for benchmark, label in pairs:
+            key = (benchmark, label)
+            if key in self._runs:
+                continue
+            items.append((self._runs, key, benchmark, self._config_for(label)))
+        self._prefetch_items(items)
+
+    def prefetch_configs(self, items: Iterable[Tuple[str, CPUConfig]]) -> None:
+        """Materialize many ad-hoc-configuration runs (see :meth:`run_config`)."""
+        normalized = []
+        for benchmark, config in items:
+            key = (benchmark, self._cache_key(benchmark, config))
+            if key in self._config_runs:
+                continue
+            normalized.append((self._config_runs, key, benchmark, config))
+        self._prefetch_items(normalized)
+
+    def run_many(
+        self, pairs: Sequence[Tuple[str, str]]
+    ) -> Dict[Tuple[str, str], SimulationResult]:
+        """Prefetch and return many labelled runs keyed by (benchmark, label)."""
+        pairs = list(pairs)
+        self.prefetch(pairs)
+        return {pair: self.run(*pair) for pair in pairs}
+
+    def _prefetch_items(self, items) -> None:
+        """Resolve (memo, memo key, benchmark, config) work items.
+
+        Each item is served from the memo, then the on-disk cache; the
+        remainder is simulated — across worker processes when more than
+        one simulation is pending and ``jobs`` allows it.
+        """
+        pending = []
+        claimed = set()
+        for memo, memo_key, benchmark, config in items:
+            if memo_key in memo or (id(memo), memo_key) in claimed:
+                continue
+            claimed.add((id(memo), memo_key))
+            cache_key = self._cache_key(benchmark, config)
+            if self.cache is not None:
+                cached = self.cache.load(cache_key)
+                if cached is not None:
+                    self.stats.disk_hits += 1
+                    memo[memo_key] = cached
+                    continue
+            pending.append((memo, memo_key, benchmark, config, cache_key))
+        if not pending:
+            return
+        tasks = [(benchmark, config) for _, _, benchmark, config, _ in pending]
+        results = self._execute(tasks)
+        for (memo, memo_key, _, _, cache_key), result in zip(pending, results):
+            self.stats.simulated += 1
+            memo[memo_key] = result
+            if self.cache is not None:
+                self.cache.store(cache_key, result)
+
+    def _execute(self, tasks: List[Tuple[str, CPUConfig]]) -> List[SimulationResult]:
+        """Run simulations, fanning out across processes when worthwhile."""
+        workers = min(self.jobs, len(tasks))
+        if workers > 1:
+            try:
+                from concurrent.futures import ProcessPoolExecutor
+                pool = ProcessPoolExecutor(max_workers=workers)
+            except (ImportError, NotImplementedError, OSError):
+                pool = None  # restricted platforms: fall through to serial
+            if pool is not None:
+                settings = self.settings
+                with pool:
+                    futures = [
+                        pool.submit(
+                            _simulate_task, benchmark, config,
+                            settings.trace_length, settings.warmup,
+                        )
+                        for benchmark, config in tasks
+                    ]
+                    return [future.result() for future in futures]
+        return [
+            simulate(self.trace(benchmark), config, warmup=self.settings.warmup)
+            for benchmark, config in tasks
+        ]
 
     # ------------------------------------------------------------------ #
 
@@ -146,9 +343,44 @@ class ExperimentContext:
 
     def thermal(self, benchmark: str, config_label: str) -> ThermalResult:
         """Thermal map with the benchmark replicated on every core."""
-        stack = CONFIG_STACKS[config_label]
-        breakdown = self.power(benchmark, config_label)
-        return self.thermal_for_breakdowns([breakdown] * CORE_COUNT, stack)
+        key = (benchmark, config_label)
+        result = self._thermals.get(key)
+        if result is None:
+            stack = CONFIG_STACKS[config_label]
+            breakdown = self.power(benchmark, config_label)
+            result = self.thermal_for_breakdowns([breakdown] * CORE_COUNT, stack)
+            self._thermals[key] = result
+        return result
+
+    def thermal_many(
+        self, pairs: Sequence[Tuple[str, str]]
+    ) -> Dict[Tuple[str, str], ThermalResult]:
+        """Thermal maps for many (benchmark, config label) pairs.
+
+        Pending simulations are prefetched in parallel, then all maps
+        sharing a stack are solved as one batched right-hand-side call
+        against that stack's already-LU-factorized solver.
+        """
+        pairs = list(pairs)
+        if self._power_model is None:
+            self.prefetch(pairs + [(REFERENCE_BENCHMARK, "Base")])
+        else:
+            self.prefetch(pairs)
+        by_stack: Dict[StackKind, List[Tuple[str, str]]] = {}
+        for pair in pairs:
+            if pair in self._thermals or pair in by_stack.get(
+                CONFIG_STACKS[pair[1]], ()
+            ):
+                continue
+            by_stack.setdefault(CONFIG_STACKS[pair[1]], []).append(pair)
+        for stack, group in by_stack.items():
+            requests = [
+                ([self.power(benchmark, label)] * CORE_COUNT, 1.0)
+                for benchmark, label in group
+            ]
+            for pair, result in zip(group, self.thermal_batch(requests, stack)):
+                self._thermals[pair] = result
+        return {pair: self._thermals[pair] for pair in pairs}
 
     def thermal_for_breakdowns(
         self,
@@ -157,10 +389,27 @@ class ExperimentContext:
         power_scale: float = 1.0,
     ) -> ThermalResult:
         """Thermal map for explicit per-core breakdowns (scaled if asked)."""
+        return self.thermal_batch([(breakdowns, power_scale)], stack)[0]
+
+    def thermal_batch(
+        self,
+        requests: Sequence[Tuple[List[PowerBreakdown], float]],
+        stack: StackKind,
+    ) -> List[ThermalResult]:
+        """Thermal maps for many (breakdowns, power scale) requests.
+
+        All right-hand sides go through one batched backsubstitution
+        against the stack's LU-factorized conductance matrix.
+        """
+        if not requests:
+            return []
         plan = self.floorplan(stack)
         solver = self.solver(stack)
-        watts = build_power_map(plan, breakdowns)
-        if power_scale != 1.0:
-            watts = {key: value * power_scale for key, value in watts.items()}
         ny, nx = solver.chip_grid_shape()
-        return solver.solve(rasterize(plan, watts, nx, ny))
+        batches = []
+        for breakdowns, power_scale in requests:
+            watts = build_power_map(plan, breakdowns)
+            if power_scale != 1.0:
+                watts = {key: value * power_scale for key, value in watts.items()}
+            batches.append(rasterize(plan, watts, nx, ny))
+        return solver.solve_many(batches)

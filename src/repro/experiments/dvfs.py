@@ -17,7 +17,6 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import List, Optional
 
-from repro.cpu.pipeline import simulate
 from repro.experiments.context import CORE_COUNT, ExperimentContext, REFERENCE_BENCHMARK
 from repro.power.model import StackKind
 from repro.thermal.solver import ThermalResult
@@ -82,6 +81,16 @@ def run_dvfs(
     if steps < 2:
         raise ValueError(f"steps must be >= 2, got {steps}")
     context = context or ExperimentContext()
+
+    config_3d = context.configs["3D"]
+    f_low = context.configs["Base"].clock_ghz
+    f_high = config_3d.clock_ghz
+    clocks = [
+        f_low + (f_high - f_low) * step / (steps - 1) for step in range(steps)
+    ]
+    sweep_configs = [replace(config_3d, clock_ghz=round(c, 3)) for c in clocks]
+    context.prefetch([(benchmark, "Base"), (REFERENCE_BENCHMARK, "Base")])
+    context.prefetch_configs((benchmark, config) for config in sweep_configs)
     model = context.power_model()
 
     base_run = context.run(benchmark, "Base")
@@ -90,14 +99,9 @@ def run_dvfs(
         [planar_breakdown] * CORE_COUNT, StackKind.PLANAR_2D
     )
 
-    config_3d = context.configs["3D"]
-    f_low = context.configs["Base"].clock_ghz
-    f_high = config_3d.clock_ghz
     points: List[DVFSPoint] = []
-    for step in range(steps):
-        clock = f_low + (f_high - f_low) * step / (steps - 1)
-        config = replace(config_3d, clock_ghz=round(clock, 3))
-        run = simulate(context.trace(benchmark), config, warmup=context.settings.warmup)
+    for clock, config in zip(clocks, sweep_configs):
+        run = context.run_config(benchmark, config)
         breakdown = model.evaluate(run, StackKind.STACKED_3D)
         # Voltage tracks frequency: dynamic components gain f^2 through V^2
         # on top of the f they already carry via the activity rate.

@@ -114,21 +114,25 @@ def run_figure10(
     if not probe:
         probe = context.settings.benchmark_list()[:3]
 
+    fixed = REFERENCE_BENCHMARK if REFERENCE_BENCHMARK in available else probe[0]
+    labels = ("Base", "3D-noTH", "3D")
+    # One batched solve per stack covers every candidate map.
+    maps = context.thermal_many(
+        [(benchmark, label) for label in labels for benchmark in probe]
+        + [(fixed, label) for label in labels]
+    )
+
     worst_case: Dict[str, Tuple[str, ThermalResult]] = {}
-    for label in ("Base", "3D-noTH", "3D"):
+    for label in labels:
         best: Optional[Tuple[str, ThermalResult]] = None
         for benchmark in probe:
-            result = context.thermal(benchmark, label)
+            result = maps[(benchmark, label)]
             if best is None or result.peak_temperature > best[1].peak_temperature:
                 best = (benchmark, result)
         assert best is not None
         worst_case[label] = best
 
-    fixed = REFERENCE_BENCHMARK if REFERENCE_BENCHMARK in available else probe[0]
-    fixed_app = {
-        label: context.thermal(fixed, label)
-        for label in ("Base", "3D-noTH", "3D")
-    }
+    fixed_app = {label: maps[(fixed, label)] for label in labels}
     return Figure10Result(
         worst_case=worst_case,
         fixed_app=fixed_app,

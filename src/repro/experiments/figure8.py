@@ -96,6 +96,7 @@ def run_figure8(context: Optional[ExperimentContext] = None) -> Figure8Result:
     """Simulate every benchmark under the five configurations."""
     context = context or ExperimentContext()
     benchmarks = context.settings.benchmark_list()
+    context.prefetch(context.grid(FIGURE8_CONFIGS, benchmarks))
 
     ipc: Dict[str, Dict[str, float]] = {}
     ipns: Dict[str, Dict[str, float]] = {}

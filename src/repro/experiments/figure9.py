@@ -88,6 +88,10 @@ class Figure9Result:
 def run_figure9(context: Optional[ExperimentContext] = None) -> Figure9Result:
     """Evaluate the three processors' power, plus the per-app range."""
     context = context or ExperimentContext()
+    context.prefetch(
+        [(REFERENCE_BENCHMARK, label) for label in ("Base", "3D-noTH", "3D")]
+        + context.grid(("Base", "3D"))
+    )
     base = context.power(REFERENCE_BENCHMARK, "Base")
     no_herding = context.power(REFERENCE_BENCHMARK, "3D-noTH")
     herding = context.power(REFERENCE_BENCHMARK, "3D")

@@ -62,6 +62,8 @@ def run_leakage_feedback(
 ) -> LeakageFeedbackResult:
     """Converge the electro-thermal fixed point for each processor."""
     context = context or ExperimentContext()
+    context.prefetch([(benchmark, label) for label in CONFIG_LABELS]
+                     + [(REFERENCE_BENCHMARK, "Base")])
     outcomes: Dict[str, tuple] = {}
     for label in CONFIG_LABELS:
         stack_kind = StackKind.PLANAR_2D if label == "Base" else StackKind.STACKED_3D

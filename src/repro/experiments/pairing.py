@@ -9,11 +9,11 @@ scheduling-level complement to microarchitectural herding.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
-from repro.cpu.multicore import simulate_dual_core
-from repro.experiments.context import ExperimentContext
+from repro.cpu.multicore import DualCoreRun
+from repro.experiments.context import ExperimentContext, REFERENCE_BENCHMARK
 from repro.power.model import StackKind
 from repro.thermal.solver import ThermalResult
 
@@ -65,14 +65,22 @@ def run_pairing(
 ) -> PairingResult:
     """Evaluate each pairing's power and thermals on the 3D processor."""
     context = context or ExperimentContext()
-    model = context.power_model()
     config = context.configs["3D"]
-    warmup = context.settings.warmup
+    # Each active core sees half the shared L2 (simulate_dual_core's
+    # symmetric-partition model); runs go through the context so they are
+    # parallelized, memoized, and persisted like every other simulation.
+    half = max(config.l2_size // 2, config.line_bytes * config.l2_assoc)
+    core_config = replace(config, l2_size=half, name=f"{config.name}-halfl2")
+    members = sorted({name for pair in pairs for name in pair})
+    context.prefetch([(REFERENCE_BENCHMARK, "Base")])  # power-model calibration anchor
+    context.prefetch_configs((name, core_config) for name in members)
+    model = context.power_model()
 
     points: List[PairingPoint] = []
     for pair in pairs:
-        run = simulate_dual_core(
-            context.trace(pair[0]), context.trace(pair[1]), config, warmup=warmup
+        run = DualCoreRun(
+            core0=context.run_config(pair[0], core_config),
+            core1=context.run_config(pair[1], core_config),
         )
         breakdowns = [
             model.evaluate(result, StackKind.STACKED_3D) for result in run.results

@@ -49,6 +49,7 @@ class PowerDensityResult:
 def run_power_density(context: Optional[ExperimentContext] = None) -> PowerDensityResult:
     """Solve the planar map and the same power folded into the 3D stack."""
     context = context or ExperimentContext()
+    context.prefetch([(REFERENCE_BENCHMARK, "Base")])
     base_run = context.run(REFERENCE_BENCHMARK, "Base")
     model = context.power_model()
 

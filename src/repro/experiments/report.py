@@ -42,6 +42,11 @@ def generate_report(context: Optional[ExperimentContext] = None) -> str:
     """Run everything and render one markdown document."""
     context = context or ExperimentContext()
 
+    # The whole (benchmark x configuration) grid is known up front: fan it
+    # out across workers (or the warm on-disk cache) before any figure
+    # demand-pulls runs one at a time.
+    context.prefetch(context.grid())
+
     table2 = run_table2()
     figure8 = run_figure8(context)
     figure9 = run_figure9(context)

@@ -20,7 +20,6 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional
 
-from repro.cpu.pipeline import simulate
 from repro.experiments.context import ExperimentContext
 
 #: Roadmap stages in presentation order.
@@ -77,14 +76,21 @@ def run_roadmap(
         "3d-cores": context.configs["3D"],
     }
 
+    context.prefetch(context.grid(("Base", "3D"), names))
+    context.prefetch_configs(
+        (name, config)
+        for name in names
+        for stage, config in stages.items()
+        if stage not in ("planar", "3d-cores")
+    )
+
     ipns: Dict[str, Dict[str, float]] = {stage: {} for stage in STAGES}
     for name in names:
-        trace = context.trace(name)
         for stage, config in stages.items():
             if stage in ("planar", "3d-cores"):
                 result = context.run(name, "Base" if stage == "planar" else "3D")
             else:
-                result = simulate(trace, config, warmup=context.settings.warmup)
+                result = context.run_config(name, config)
             ipns[stage][name] = result.ipns
 
     speedup = {

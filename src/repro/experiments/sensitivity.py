@@ -99,6 +99,7 @@ def run_sensitivity(
 ) -> SensitivityResult:
     """Sweep packaging parameters for the 3D TH processor."""
     context = context or ExperimentContext()
+    context.prefetch([(benchmark, "3D"), (REFERENCE_BENCHMARK, "Base")])
     breakdown = context.power(benchmark, "3D")
     plan = context.floorplan(StackKind.STACKED_3D)
     watts = build_power_map(plan, [breakdown] * CORE_COUNT)

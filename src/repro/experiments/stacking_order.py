@@ -47,6 +47,7 @@ def run_stacking_order(
 ) -> StackingOrderResult:
     """Solve the 3D TH thermal map with normal and flipped die order."""
     context = context or ExperimentContext()
+    context.prefetch([(benchmark, "3D"), (REFERENCE_BENCHMARK, "Base")])
     breakdown = context.power(benchmark, "3D")
     plan = context.floorplan(StackKind.STACKED_3D)
     solver = context.solver(StackKind.STACKED_3D)

@@ -90,6 +90,8 @@ def run_transient_response(
 ) -> TransientResponseResult:
     """Measure the 90 % step-response time of both stacks."""
     context = context or ExperimentContext()
+    context.prefetch([(benchmark, "Base"), (benchmark, "3D"),
+                      (REFERENCE_BENCHMARK, "Base")])
     planar = _step_response(
         context, "planar", StackKind.PLANAR_2D,
         context.power(benchmark, "Base"), dt_s, duration_s,

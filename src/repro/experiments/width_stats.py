@@ -66,6 +66,7 @@ class WidthStatsResult:
 def run_width_stats(context: Optional[ExperimentContext] = None) -> WidthStatsResult:
     """Run the TH configuration across the suite and collect metrics."""
     context = context or ExperimentContext()
+    context.prefetch(context.grid(("TH",)))
     all_acc: Dict[str, float] = {}
     pred_acc: Dict[str, float] = {}
     herding: Dict[str, Dict[str, float]] = {}

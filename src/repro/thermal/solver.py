@@ -213,32 +213,34 @@ class ThermalSolver:
         """(ny, nx) resolution for chip-region power maps."""
         return self._chip_ny, self._chip_nx
 
-    def solve(self, die_power_grids: Sequence[np.ndarray]) -> ThermalResult:
-        """Solve for per-die chip-region power grids (W per cell)."""
+    def _die_layers(self) -> Dict[int, int]:
+        return {
+            layer.power_die: l
+            for l, layer in enumerate(self.stack.layers)
+            if layer.power_die is not None
+        }
+
+    def _rhs_for(self, die_power_grids: Sequence[np.ndarray]) -> np.ndarray:
         nx, ny = self.nx, self.ny
         layers = self.stack.layers
         if len(die_power_grids) != self.stack.die_count:
             raise ValueError(
                 f"expected {self.stack.die_count} power grids, got {len(die_power_grids)}"
             )
-        if self._solve_fn is None:
-            self._build()
-
-        n = len(layers) * ny * nx
-        rhs = np.zeros(n)
-        die_layers: Dict[int, int] = {}
-        for l, layer in enumerate(layers):
-            if layer.power_die is not None:
-                die_layers[layer.power_die] = l
-                full = self._embed(die_power_grids[layer.power_die])
-                rhs[l * ny * nx:(l + 1) * ny * nx] += full.ravel()
+        rhs = np.zeros(len(layers) * ny * nx)
+        for die, l in self._die_layers().items():
+            full = self._embed(die_power_grids[die])
+            rhs[l * ny * nx:(l + 1) * ny * nx] += full.ravel()
         rhs[: ny * nx] += self._conv_per_cell * self.stack.ambient_k
+        return rhs
 
-        temps = self._solve_fn(rhs)
+    def _result_from(self, temps: np.ndarray) -> ThermalResult:
+        nx, ny = self.nx, self.ny
         layer_temps = [
             temps[l * ny * nx:(l + 1) * ny * nx].reshape(ny, nx)
-            for l in range(len(layers))
+            for l in range(len(self.stack.layers))
         ]
+        die_layers = self._die_layers()
         block_peak, block_mean = self._block_temps(layer_temps, die_layers)
         return ThermalResult(
             stack_name=self.stack.name,
@@ -249,6 +251,28 @@ class ThermalSolver:
             block_peak=block_peak,
             block_mean=block_mean,
         )
+
+    def solve(self, die_power_grids: Sequence[np.ndarray]) -> ThermalResult:
+        """Solve for per-die chip-region power grids (W per cell)."""
+        return self.solve_many([die_power_grids])[0]
+
+    def solve_many(
+        self, batches: Sequence[Sequence[np.ndarray]]
+    ) -> List[ThermalResult]:
+        """Solve several power maps against the one LU factorization.
+
+        All right-hand sides are backsubstituted in a single call, so the
+        factorization cost — and most of the per-solve overhead — is paid
+        once for the whole batch.
+        """
+        if not batches:
+            return []
+        if self._solve_fn is None:
+            self._build()
+        rhs = np.stack([self._rhs_for(batch) for batch in batches], axis=1)
+        temps = self._solve_fn(rhs)
+        return [self._result_from(np.asarray(temps[:, i]).ravel())
+                for i in range(len(batches))]
 
     def _block_temps(self, layer_temps, die_layers):
         nx, ny = self.nx, self.ny

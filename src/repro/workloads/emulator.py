@@ -35,6 +35,10 @@ from repro.workloads.program import (
     build_program,
 )
 
+#: Trace-generator version, part of the on-disk result-cache key.  Bump on
+#: any change that alters generated traces so stale entries never hit.
+GENERATOR_VERSION = 1
+
 _MASK64 = (1 << 64) - 1
 
 

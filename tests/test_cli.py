@@ -11,8 +11,15 @@ class TestParser:
         sub = next(a for a in parser._actions if a.dest == "command")
         expected = {"table2", "figure8", "figure9", "figure10", "density",
                     "width", "dvfs", "roadmap", "report", "simulate",
-                    "trace", "list"}
+                    "trace", "list", "sensitivity", "transient", "stacking",
+                    "mechanisms", "cache"}
         assert expected <= set(sub.choices)
+
+    def test_experiment_commands_take_jobs(self):
+        args = build_parser().parse_args(["figure8", "--fast", "--jobs", "4"])
+        assert args.jobs == 4
+        args = build_parser().parse_args(["report", "--fast"])
+        assert args.jobs is None
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -39,6 +46,14 @@ class TestCommands:
 
     def test_simulate_unknown_config(self, capsys):
         assert main(["simulate", "adpcm", "--config", "Warp9"]) == 2
+
+    def test_cache_info_and_clear(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["cache"]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out
+        assert main(["cache", "clear"]) == 0
+        assert "removed" in capsys.readouterr().out
 
     def test_trace_roundtrip(self, tmp_path, capsys):
         output = tmp_path / "x.jsonl.gz"
