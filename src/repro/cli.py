@@ -157,13 +157,38 @@ def _cmd_cache(args) -> int:
 
 
 def _cmd_report(args) -> int:
-    text = generate_report(_context(args))
+    import time
+
+    context = _context(args)
+    start = time.perf_counter()
+    text = generate_report(context)
+    wall_s = time.perf_counter() - start
     if args.output:
         with open(args.output, "w", encoding="utf-8") as stream:
             stream.write(text)
         print(f"wrote {args.output}")
     else:
         print(text)
+    if args.stats:
+        import json
+
+        from repro.thermal.solver import FACTORIZATION_STATS
+
+        payload = {
+            "wall_s": round(wall_s, 3),
+            "jobs": context.jobs,
+            "fast": bool(args.fast),
+            "simulated": context.stats.simulated,
+            "sim_disk_hits": context.stats.disk_hits,
+            "thermal_solved": context.stats.thermal_solved,
+            "thermal_disk_hits": context.stats.thermal_disk_hits,
+            "factorizations": FACTORIZATION_STATS.factorizations,
+            "factorization_cache_hits": FACTORIZATION_STATS.cache_hits,
+        }
+        with open(args.stats, "w", encoding="utf-8") as stream:
+            json.dump(payload, stream, indent=2)
+            stream.write("\n")
+        print(f"wrote {args.stats}")
     return 0
 
 
@@ -242,6 +267,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = add("report", _cmd_report, "full markdown report of all experiments")
     report.add_argument("-o", "--output", help="write the report to a file")
+    report.add_argument("--stats", metavar="FILE",
+                        help="write wall-clock and simulation/thermal-solve "
+                             "counters as JSON (for benchmark tracking)")
 
     cache = add("cache", _cmd_cache, "inspect or clear the on-disk result cache",
                 fast=False)

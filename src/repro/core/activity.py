@@ -31,10 +31,13 @@ class ModuleActivity:
         if not 1 <= dies_active <= NUM_DIES:
             raise ValueError(f"dies_active must be in [1, {NUM_DIES}], got {dies_active}")
         self.total += count
+        per_die = self.per_die
         if dies_active == 1:
             self.top_only += count
-        for die in range(dies_active):
-            self.per_die[die] += count
+            per_die[0] += count
+        else:
+            for die in range(dies_active):
+                per_die[die] += count
 
     def record_die(self, die: int, count: int = 1) -> None:
         """Record ``count`` accesses on a specific die only."""
@@ -73,7 +76,22 @@ class ActivityCounters:
         return activity
 
     def record(self, name: str, dies_active: int = NUM_DIES, count: int = 1) -> None:
-        self.module(name).record(dies_active=dies_active, count=count)
+        # Hot path: inlines ModuleActivity.record (same arithmetic) because
+        # the simulator calls this once or more per instruction.
+        activity = self._modules.get(name)
+        if activity is None:
+            activity = ModuleActivity()
+            self._modules[name] = activity
+        if not 1 <= dies_active <= NUM_DIES:
+            raise ValueError(f"dies_active must be in [1, {NUM_DIES}], got {dies_active}")
+        activity.total += count
+        per_die = activity.per_die
+        if dies_active == 1:
+            activity.top_only += count
+            per_die[0] += count
+        else:
+            for die in range(dies_active):
+                per_die[die] += count
 
     def modules(self) -> Dict[str, ModuleActivity]:
         """All recorded modules (live view)."""

@@ -57,6 +57,9 @@ class SetAssociativeCache:
         index, tag = self._locate(addr)
         entries = self._sets[index]
         self.stats.accesses += 1
+        if entries and entries[0] == tag:
+            # MRU hit: remove-then-reinsert at the head is a no-op.
+            return True
         if tag in entries:
             entries.remove(tag)
             entries.insert(0, tag)

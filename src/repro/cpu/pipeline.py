@@ -236,8 +236,11 @@ class TimingSimulator:
         sq_heap: List[int] = []
         ifq_ring: List[int] = []  # dispatch cycles of the last ifq_size insts
 
-        # Issue state
+        # Issue state.  issued_in_cycle is pruned as the dispatch floor
+        # advances (see the issue stage) so it never holds one entry per
+        # simulated cycle for the whole trace.
         issued_in_cycle: Dict[int, int] = {}
+        issue_prune_at = 4096
         pools = {
             "int_alu": _Pool(cfg.int_alu_units),
             "int_shift": _Pool(cfg.int_shift_units),
@@ -248,6 +251,19 @@ class TimingSimulator:
             "ld_st": _Pool(cfg.load_store_ports),
             "ld_only": _Pool(cfg.load_only_ports),
         }
+        # Direct OpClass -> pool map for the issue stage; LOAD stays a
+        # special case (either memory port) handled inline below.
+        pool_for_op = {
+            OpClass.STORE: pools["ld_st"],
+            OpClass.ISHIFT: pools["int_shift"],
+            OpClass.IMUL: pools["int_mul"],
+            OpClass.FADD: pools["fp_add"],
+            OpClass.FMUL: pools["fp_mul"],
+            OpClass.FDIV: pools["fp_div"],
+        }
+        for _op in OpClass:
+            pool_for_op.setdefault(_op, pools["int_alu"])
+        ld_st_pool, ld_only_pool = pools["ld_st"], pools["ld_only"]
         # Miss-status holding registers bound memory-level parallelism:
         # at most mshr_entries DRAM misses may be in flight at once.
         mshr = _Pool(cfg.mshr_entries)
@@ -439,12 +455,31 @@ class TimingSimulator:
                 counters.record("fpu", dies_active=NUM_DIES)
 
             earliest += alu_stall
-            pool = self._pool_for(op, pools)
+            if op is OpClass.LOAD:
+                # A load may use either memory port; pick the one free sooner.
+                pool = (ld_only_pool
+                        if ld_st_pool.earliest_free() > ld_only_pool.earliest_free()
+                        else ld_st_pool)
+            else:
+                pool = pool_for_op[op]
             busy = OP_LATENCY[op] if op is OpClass.FDIV else 1
             issue_cycle = pool.acquire(earliest, busy=busy)
             while issued_in_cycle.get(issue_cycle, 0) >= cfg.issue_width:
                 issue_cycle += 1
             issued_in_cycle[issue_cycle] = issued_in_cycle.get(issue_cycle, 0) + 1
+            if len(issued_in_cycle) >= issue_prune_at:
+                # Every future issue probes a cycle >= dispatch_floor + 1
+                # (issue_cycle >= earliest >= dispatch_cycle + 1, and the
+                # dispatch floor never decreases), so entries at or below
+                # the floor are dead: drop them.  The threshold adapts so
+                # a large in-flight window cannot trigger a rebuild per
+                # instruction.
+                issued_in_cycle = {
+                    cycle: count
+                    for cycle, count in issued_in_cycle.items()
+                    if cycle > dispatch_floor
+                }
+                issue_prune_at = max(4096, 2 * len(issued_in_cycle))
 
 
             # ---------------- EXECUTE / COMPLETE ---------------- #
@@ -586,26 +621,6 @@ class TimingSimulator:
         )
 
     # ------------------------------------------------------------------ #
-
-    @staticmethod
-    def _pool_for(op: OpClass, pools: Dict[str, _Pool]) -> _Pool:
-        if op is OpClass.LOAD:
-            # A load may use either memory port; pick the one free sooner.
-            a, b = pools["ld_st"], pools["ld_only"]
-            return a if a.earliest_free() <= b.earliest_free() else b
-        if op is OpClass.STORE:
-            return pools["ld_st"]
-        if op is OpClass.ISHIFT:
-            return pools["int_shift"]
-        if op is OpClass.IMUL:
-            return pools["int_mul"]
-        if op is OpClass.FADD:
-            return pools["fp_add"]
-        if op is OpClass.FMUL:
-            return pools["fp_mul"]
-        if op is OpClass.FDIV:
-            return pools["fp_div"]
-        return pools["int_alu"]
 
     def _herding_metrics(self) -> Dict[str, float]:
         metrics: Dict[str, float] = {}

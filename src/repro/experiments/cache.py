@@ -1,11 +1,13 @@
-"""Persistent on-disk cache of simulation results.
+"""Persistent on-disk cache of simulation and thermal results.
 
 Every figure consumes the same (benchmark x configuration) grid of
 trace-replay simulations, and those simulations are deterministic: the
 trace is a pure function of (benchmark name, length, seed) and the timing
-model is a pure function of (trace, config, warmup).  The cache exploits
-that determinism to make repeated CLI invocations, benchmark sessions,
-and report regenerations hit disk instead of re-simulating.
+model is a pure function of (trace, config, warmup).  Thermal solves are
+equally deterministic — a pure function of the solver geometry and the
+power grids.  The cache exploits that determinism to make repeated CLI
+invocations, benchmark sessions, and report regenerations hit disk
+instead of re-simulating or re-solving.
 
 Layout::
 
@@ -13,12 +15,15 @@ Layout::
         v1/                     <- one directory per key-schema version
             ab/
                 ab3f...e2.pkl.gz   <- one gzip-compressed pickled
-                                      SimulationResult per key
+                                      SimulationResult or ThermalResult
+                                      per key
 
-Keys are SHA-256 content hashes over everything a simulation's outcome
-depends on: the key-schema version, the workload-generator version, the
-timing-simulator version, the benchmark name, the fidelity knobs
-(trace length, warmup), and every field of the :class:`CPUConfig`.
+Keys are SHA-256 content hashes over everything a result depends on.
+For simulations: the key-schema version, the workload-generator version,
+the timing-simulator version, the benchmark name, the fidelity knobs
+(trace length, warmup), and every field of the :class:`CPUConfig`.  For
+thermal solves (:func:`thermal_key`): the thermal model version, the
+solver's geometry fingerprint, and the power grids' raw bytes.
 Changing any of these yields a different key, so stale entries are never
 *returned* — and bumping :data:`CACHE_SCHEMA_VERSION` moves the cache to
 a fresh ``v<N>/`` directory, leaving old versions inert until
@@ -94,6 +99,32 @@ def simulation_key(
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
+def thermal_key(solver, die_power_grids) -> str:
+    """Content hash identifying one deterministic thermal solve.
+
+    Covers the solver's full result geometry (stack layers, floorplan,
+    grid resolution, spreader, boundary conditions — see
+    :meth:`repro.thermal.solver.ThermalSolver.result_key`) plus the raw
+    bytes of every per-die power grid.
+    """
+    import numpy as np
+
+    digest = hashlib.sha256()
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "kind": "thermal",
+        "geometry": _canonical(solver.result_key()),
+    }
+    digest.update(
+        json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    )
+    for grid in die_power_grids:
+        array = np.ascontiguousarray(np.asarray(grid, dtype=np.float64))
+        digest.update(repr(array.shape).encode("utf-8"))
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
 class ResultCache:
     """Load/store :class:`SimulationResult` objects keyed by content hash."""
 
@@ -119,11 +150,12 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.version_dir / key[:2] / f"{key}.pkl.gz"
 
-    def load(self, key: str) -> Optional[SimulationResult]:
+    def load(self, key: str, expected_type: type = SimulationResult):
         """The cached result for ``key``, or ``None`` on a miss.
 
-        Unreadable entries (truncated writes, incompatible pickles) are
-        deleted and treated as misses.
+        ``expected_type`` guards against key collisions across result
+        kinds (simulation vs thermal).  Unreadable entries (truncated
+        writes, incompatible pickles) are deleted and treated as misses.
         """
         path = self._path(key)
         try:
@@ -140,13 +172,13 @@ class ResultCache:
                 pass
             self.misses += 1
             return None
-        if not isinstance(result, SimulationResult):
+        if not isinstance(result, expected_type):
             self.misses += 1
             return None
         self.hits += 1
         return result
 
-    def store(self, key: str, result: SimulationResult) -> None:
+    def store(self, key: str, result) -> None:
         """Persist ``result`` under ``key`` (atomic within a filesystem)."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)

@@ -27,7 +27,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.cpu.config import CPUConfig, paper_configurations
 from repro.cpu.pipeline import simulate
 from repro.cpu.results import SimulationResult
-from repro.experiments.cache import ResultCache, simulation_key
+from repro.experiments.cache import ResultCache, simulation_key, thermal_key
 from repro.floorplan import Floorplan, planar_floorplan, stacked_floorplan
 from repro.isa.trace import Trace
 from repro.power.model import (
@@ -82,12 +82,16 @@ class ExperimentSettings:
 
 @dataclass
 class ContextStats:
-    """Where this context's simulation results came from."""
+    """Where this context's simulation and thermal results came from."""
 
     #: simulations actually executed (serial or in workers)
     simulated: int = 0
-    #: results served from the on-disk cache
+    #: simulation results served from the on-disk cache
     disk_hits: int = 0
+    #: thermal maps actually solved (factorize and/or backsubstitute)
+    thermal_solved: int = 0
+    #: thermal maps served from the on-disk cache
+    thermal_disk_hits: int = 0
 
 
 def _all_configurations() -> Dict[str, CPUConfig]:
@@ -399,7 +403,8 @@ class ExperimentContext:
         """Thermal maps for many (breakdowns, power scale) requests.
 
         All right-hand sides go through one batched backsubstitution
-        against the stack's LU-factorized conductance matrix.
+        against the stack's LU-factorized conductance matrix; solved
+        maps are persisted in the on-disk cache.
         """
         if not requests:
             return []
@@ -412,4 +417,39 @@ class ExperimentContext:
             if power_scale != 1.0:
                 watts = {key: value * power_scale for key, value in watts.items()}
             batches.append(rasterize(plan, watts, nx, ny))
-        return solver.solve_many(batches)
+        return self.solve_thermal(solver, batches)
+
+    def solve_thermal(
+        self,
+        solver: ThermalSolver,
+        batches: Sequence[Sequence],
+    ) -> List[ThermalResult]:
+        """Disk-cached batched thermal solve against an explicit solver.
+
+        Each batch entry (per-die chip power grids) is keyed by the
+        solver's geometry fingerprint plus a content hash of the grids;
+        hits skip the solve entirely, and the misses share one batched
+        backsubstitution — so warm report reruns do no thermal work.
+        """
+        batches = list(batches)
+        if not batches:
+            return []
+        results: List[Optional[ThermalResult]] = [None] * len(batches)
+        pending: List[Tuple[int, str]] = []
+        for position, grids in enumerate(batches):
+            key = thermal_key(solver, grids)
+            if self.cache is not None:
+                cached = self.cache.load(key, ThermalResult)
+                if cached is not None:
+                    self.stats.thermal_disk_hits += 1
+                    results[position] = cached
+                    continue
+            pending.append((position, key))
+        if pending:
+            solved = solver.solve_many([batches[pos] for pos, _ in pending])
+            for (position, key), result in zip(pending, solved):
+                self.stats.thermal_solved += 1
+                results[position] = result
+                if self.cache is not None:
+                    self.cache.store(key, result)
+        return results

@@ -104,11 +104,17 @@ def run_sensitivity(
     plan = context.floorplan(StackKind.STACKED_3D)
     watts = build_power_map(plan, [breakdown] * CORE_COUNT)
     grid = context.settings.thermal_grid
+    # The chip grid shape depends only on (floorplan, nx, ny), so every
+    # sweep stack shares one rasterized power map.
+    grids = None
 
     def solve(stack: ThermalStack) -> float:
+        nonlocal grids
         solver = ThermalSolver(stack, plan, grid, grid)
-        ny, nx = solver.chip_grid_shape()
-        return solver.solve(rasterize(plan, watts, nx, ny)).peak_temperature
+        if grids is None:
+            ny, nx = solver.chip_grid_shape()
+            grids = rasterize(plan, watts, nx, ny)
+        return context.solve_thermal(solver, [grids])[0].peak_temperature
 
     nominal = solve(_stack_with(0.17, 50.0, 0.25))
     points: List[SensitivityPoint] = []

@@ -55,8 +55,12 @@ def run_stacking_order(
     ny, nx = solver.chip_grid_shape()
     grids = rasterize(plan, watts, nx, ny)
 
-    herded: ThermalResult = solver.solve(grids)
-    inverted: ThermalResult = solver.solve(list(reversed(grids)))
+    # One batched, disk-cached solve for both orientations.
+    herded: ThermalResult
+    inverted: ThermalResult
+    herded, inverted = context.solve_thermal(
+        solver, [grids, list(reversed(grids))]
+    )
     return StackingOrderResult(
         benchmark=benchmark,
         herded_peak_k=herded.peak_temperature,

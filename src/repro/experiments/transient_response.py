@@ -69,7 +69,7 @@ def _step_response(
     ny, nx = solver.chip_grid_shape()
     grids = rasterize(plan, watts, nx, ny)
 
-    steady = solver.solve(grids)
+    steady = context.solve_thermal(solver, [grids])[0]
     ambient = solver.stack.ambient_k
     target = ambient + 0.9 * (steady.peak_temperature - ambient)
 

@@ -76,6 +76,24 @@ class Floorplan:
     def total_block_area(self) -> float:
         return sum(b.area_mm2 for b in self.blocks)
 
+    def fingerprint(self) -> Tuple:
+        """Hashable content snapshot of the floorplan geometry.
+
+        Used as a cache key by the rasterizer's block-mask memo and the
+        persistent thermal-result cache; adding or changing blocks
+        yields a different fingerprint, so stale entries never match.
+        """
+        return (
+            self.name,
+            self.width_mm,
+            self.height_mm,
+            self.dies,
+            tuple(
+                (b.name, b.die, b.rect.x, b.rect.y, b.rect.w, b.rect.h)
+                for b in self.blocks
+            ),
+        )
+
     def block_names(self) -> List[str]:
         seen: Dict[str, None] = {}
         for block in self.blocks:

@@ -12,6 +12,7 @@ against the recorded outcome.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Optional, Tuple
 
 from repro.isa.opcodes import OpClass
@@ -84,17 +85,25 @@ class TraceInstruction:
     def writes_register(self) -> bool:
         return self.dst is not None
 
-    @property
+    # The three width predicates are pure functions of immutable fields,
+    # and every trace is replayed under several configurations, so they
+    # are cached per instruction.  (cached_property stores directly into
+    # __dict__, which frozen dataclasses permit.)
+
+    @cached_property
     def result_is_low_width(self) -> bool:
         """True when the result fits the 16-bit low-width definition."""
         return is_low_width(self.result)
 
-    @property
+    @cached_property
     def operands_are_low_width(self) -> bool:
         """True when every source operand value is low width."""
-        return all(is_low_width(v) for v in self.src_values)
+        for v in self.src_values:
+            if not is_low_width(v):
+                return False
+        return True
 
-    @property
+    @cached_property
     def is_low_width(self) -> bool:
         """The instruction's overall width class.
 

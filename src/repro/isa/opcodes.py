@@ -29,36 +29,46 @@ class OpClass(enum.Enum):
     RETURN = "return"      # indirect return (uses iBTB / RAS-like target)
     NOP = "nop"            # no-op / fence placeholder
 
-    @property
-    def is_memory(self) -> bool:
-        return self in (OpClass.LOAD, OpClass.STORE)
+    # The predicates below are precomputed into plain member attributes
+    # right after the class body: the timing simulator evaluates them
+    # millions of times per trace, where a property call plus tuple
+    # membership test is measurable.
 
-    @property
-    def is_control(self) -> bool:
-        return self in (OpClass.BRANCH, OpClass.JUMP, OpClass.CALL, OpClass.RETURN)
+    is_memory: bool
+    """True for LOAD/STORE."""
 
-    @property
-    def is_conditional(self) -> bool:
-        return self is OpClass.BRANCH
+    is_control: bool
+    """True for BRANCH/JUMP/CALL/RETURN."""
 
-    @property
-    def is_fp(self) -> bool:
-        return self in (OpClass.FADD, OpClass.FMUL, OpClass.FDIV)
+    is_conditional: bool
+    """True for BRANCH."""
 
-    @property
-    def is_integer_datapath(self) -> bool:
-        """True for ops whose results flow through the 64-bit integer datapath.
+    is_fp: bool
+    """True for FADD/FMUL/FDIV."""
 
-        These are the instructions subject to width prediction and the
-        significance-partitioned register file / ALU / bypass techniques.
-        """
-        return self in (
-            OpClass.IALU,
-            OpClass.ISHIFT,
-            OpClass.IMUL,
-            OpClass.LOAD,
-            OpClass.STORE,
-        )
+    is_integer_datapath: bool
+    """True for ops whose results flow through the 64-bit integer datapath.
+
+    These are the instructions subject to width prediction and the
+    significance-partitioned register file / ALU / bypass techniques.
+    """
+
+
+for _op in OpClass:
+    _op.is_memory = _op in (OpClass.LOAD, OpClass.STORE)
+    _op.is_control = _op in (
+        OpClass.BRANCH, OpClass.JUMP, OpClass.CALL, OpClass.RETURN
+    )
+    _op.is_conditional = _op is OpClass.BRANCH
+    _op.is_fp = _op in (OpClass.FADD, OpClass.FMUL, OpClass.FDIV)
+    _op.is_integer_datapath = _op in (
+        OpClass.IALU,
+        OpClass.ISHIFT,
+        OpClass.IMUL,
+        OpClass.LOAD,
+        OpClass.STORE,
+    )
+del _op
 
 
 class FunctionalUnit(enum.Enum):

@@ -69,19 +69,26 @@ def sign_extend(value: int, bits: int = VALUE_BITS) -> int:
     return (value ^ sign_bit) - sign_bit
 
 
+_SIGN_BIT = 1 << (VALUE_BITS - 1)
+
+
 def significant_width(value: int) -> int:
     """Number of bits needed to represent ``value`` in two's complement.
 
     A non-negative value ``v`` needs ``v.bit_length() + 1`` bits (one for
     the sign); a negative value ``v`` needs ``(~v).bit_length() + 1``.
     Zero and minus-one both need 1 bit.  The result is capped at 64.
+
+    (For a negative 64-bit value, ``~signed`` equals the bit complement
+    of its unsigned representation, so the hot path below stays in
+    unsigned arithmetic and never materializes the signed form.)
     """
-    signed = sign_extend(to_unsigned(value))
-    if signed >= 0:
-        width = signed.bit_length() + 1
+    value &= _VALUE_MASK
+    if value & _SIGN_BIT:
+        width = (value ^ _VALUE_MASK).bit_length() + 1
     else:
-        width = (~signed).bit_length() + 1
-    return min(width, VALUE_BITS)
+        width = value.bit_length() + 1
+    return width if width < VALUE_BITS else VALUE_BITS
 
 
 def is_low_width(value: int, threshold: int = LOW_WIDTH_BITS) -> bool:

@@ -9,6 +9,7 @@ leaking transistors are everywhere.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
@@ -56,6 +57,56 @@ def build_power_map(
     return watts
 
 
+#: One precomputed block footprint: (die, row slice, column slice,
+#: per-cell fraction of the block's area).
+_BlockMask = Tuple[int, slice, slice, np.ndarray]
+
+#: (floorplan fingerprint, nx, ny) -> per-block masks, LRU-bounded.
+_MASK_CACHE: "OrderedDict[Tuple, List[_BlockMask]]" = OrderedDict()
+_MASK_CACHE_CAP = 8
+
+
+def clear_mask_cache() -> None:
+    """Drop all memoized rasterization masks."""
+    _MASK_CACHE.clear()
+
+
+def _block_masks(floorplan: Floorplan, nx: int, ny: int) -> List[_BlockMask]:
+    """Fractional cell-overlap weights for every block, memoized.
+
+    Each block's weights grid sums to 1 (its full area lands on the
+    grid), so scaling by the block's watts conserves power exactly.
+    """
+    key = (floorplan.fingerprint(), nx, ny)
+    masks = _MASK_CACHE.get(key)
+    if masks is not None:
+        _MASK_CACHE.move_to_end(key)
+        return masks
+    dx = floorplan.width_mm / nx
+    dy = floorplan.height_mm / ny
+    edges_x = np.arange(nx + 1) * dx
+    edges_y = np.arange(ny + 1) * dy
+    masks = []
+    for block in floorplan.blocks:
+        r = block.rect
+        x0 = max(0, int(r.x / dx))
+        x1 = min(nx, int(np.ceil((r.x + r.w) / dx)))
+        y0 = max(0, int(r.y / dy))
+        y1 = min(ny, int(np.ceil((r.y + r.h) / dy)))
+        overlap_x = np.minimum(edges_x[x0 + 1:x1 + 1], r.x + r.w) \
+            - np.maximum(edges_x[x0:x1], r.x)
+        overlap_y = np.minimum(edges_y[y0 + 1:y1 + 1], r.y + r.h) \
+            - np.maximum(edges_y[y0:y1], r.y)
+        np.clip(overlap_x, 0.0, None, out=overlap_x)
+        np.clip(overlap_y, 0.0, None, out=overlap_y)
+        weights = overlap_y[:, None] * overlap_x[None, :] / r.area_mm2
+        masks.append((block.die, slice(y0, y1), slice(x0, x1), weights))
+    _MASK_CACHE[key] = masks
+    while len(_MASK_CACHE) > _MASK_CACHE_CAP:
+        _MASK_CACHE.popitem(last=False)
+    return masks
+
+
 def rasterize(
     floorplan: Floorplan,
     watts: Dict[BlockDieKey, float],
@@ -65,33 +116,18 @@ def rasterize(
     """Per-die (ny, nx) power grids in watts.
 
     Each block's power is distributed uniformly over the grid cells it
-    overlaps, with partial cells weighted by overlap area.
+    overlaps, with partial cells weighted by overlap area.  The overlap
+    weights depend only on (floorplan, nx, ny), so they are computed
+    once with clipped coordinate grids and reused across every
+    rasterization of the same floorplan at the same resolution.
     """
     if nx < 2 or ny < 2:
         raise ValueError(f"grid must be at least 2x2, got {nx}x{ny}")
-    dx = floorplan.width_mm / nx
-    dy = floorplan.height_mm / ny
     grids = [np.zeros((ny, nx)) for _ in range(floorplan.dies)]
-    for block in floorplan.blocks:
+    masks = _block_masks(floorplan, nx, ny)
+    for block, (die, rows, cols, weights) in zip(floorplan.blocks, masks):
         power = watts.get((block.name, block.die), 0.0)
         if power <= 0.0:
             continue
-        r = block.rect
-        x0 = max(0, int(r.x / dx))
-        x1 = min(nx, int(np.ceil((r.x + r.w) / dx)))
-        y0 = max(0, int(r.y / dy))
-        y1 = min(ny, int(np.ceil((r.y + r.h) / dy)))
-        density = power / r.area_mm2
-        grid = grids[block.die]
-        for j in range(y0, y1):
-            cell_y0, cell_y1 = j * dy, (j + 1) * dy
-            overlap_y = min(cell_y1, r.y + r.h) - max(cell_y0, r.y)
-            if overlap_y <= 0:
-                continue
-            for i in range(x0, x1):
-                cell_x0, cell_x1 = i * dx, (i + 1) * dx
-                overlap_x = min(cell_x1, r.x + r.w) - max(cell_x0, r.x)
-                if overlap_x <= 0:
-                    continue
-                grid[j, i] += density * overlap_x * overlap_y
+        grids[die][rows, cols] += power * weights
     return grids

@@ -9,19 +9,35 @@ adds per-cell heat capacities ``C``:
     C dT/dt = -G T + P(t)  ->  (C/dt + G) T_{n+1} = (C/dt) T_n + P_{n+1}
 
 Implicit Euler is unconditionally stable, so time steps can span
-milliseconds.  The step matrix is LU-factorized once per ``dt``.
+milliseconds.  The step matrix ``(C/dt + G)`` is LU-factorized once per
+(geometry, heat capacities, dt) and shared process-wide, exactly like
+the steady solver's factorization cache.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.sparse import coo_matrix
-from scipy.sparse.linalg import factorized
 
-from repro.thermal.solver import ThermalSolver
+from repro.thermal.solver import FactorizationStats, ThermalSolver, _factorize
+
+#: (steady matrix key, per-layer heat capacities, dt) -> step backsolve.
+_STEP_CACHE: "OrderedDict[Tuple, Callable]" = OrderedDict()
+_STEP_CACHE_CAP = 8
+
+#: Counters for the step-matrix factorization cache.
+STEP_FACTORIZATION_STATS = FactorizationStats()
+
+
+def clear_step_cache() -> None:
+    """Drop all cached step factorizations and reset the counters."""
+    _STEP_CACHE.clear()
+    STEP_FACTORIZATION_STATS.factorizations = 0
+    STEP_FACTORIZATION_STATS.cache_hits = 0
 
 
 @dataclass
@@ -57,13 +73,32 @@ class TransientThermalSolver:
         if steady._solve_fn is None:
             steady._build()
         self._capacity = self._cell_capacities()
-        n = len(self._capacity)
-        capacity_matrix = coo_matrix(
-            (self._capacity / dt_s, (range(n), range(n))), shape=(n, n)
-        ).tocsc()
-        self._step_solve = factorized(
-            (capacity_matrix + steady.conductance_matrix).tocsc()
+        self._cap_over_dt = self._capacity / dt_s
+        key = (
+            steady.matrix_key(),
+            tuple(
+                layer.material.heat_capacity_j_m3k
+                for layer in steady.stack.layers
+            ),
+            dt_s,
         )
+        step_solve = _STEP_CACHE.get(key)
+        if step_solve is None:
+            n = len(self._capacity)
+            capacity_matrix = coo_matrix(
+                (self._cap_over_dt, (range(n), range(n))), shape=(n, n)
+            ).tocsc()
+            step_solve = _factorize(
+                (capacity_matrix + steady.conductance_matrix).tocsc()
+            )
+            STEP_FACTORIZATION_STATS.factorizations += 1
+            _STEP_CACHE[key] = step_solve
+            while len(_STEP_CACHE) > _STEP_CACHE_CAP:
+                _STEP_CACHE.popitem(last=False)
+        else:
+            STEP_FACTORIZATION_STATS.cache_hits += 1
+            _STEP_CACHE.move_to_end(key)
+        self._step_solve = step_solve
 
     def _cell_capacities(self) -> np.ndarray:
         """Heat capacity (J/K) of every grid cell, layer by layer."""
@@ -98,11 +133,7 @@ class TransientThermalSolver:
         ambient = steady.stack.ambient_k
         temps = np.full(n, initial_k if initial_k is not None else ambient)
 
-        die_layers = {
-            layer.power_die: index
-            for index, layer in enumerate(layers)
-            if layer.power_die is not None
-        }
+        die_layers = steady._die_layer_map
 
         times: List[float] = []
         peaks: List[float] = []
@@ -116,7 +147,7 @@ class TransientThermalSolver:
                 full = steady._embed(np.asarray(grids[die]))
                 rhs[layer_index * ny * nx:(layer_index + 1) * ny * nx] += full.ravel()
             rhs[: ny * nx] += conv * ambient
-            rhs += self._capacity / self.dt_s * temps
+            rhs += self._cap_over_dt * temps
             temps = self._step_solve(rhs)
             times.append(t)
             die_peak = max(
