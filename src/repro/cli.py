@@ -17,6 +17,7 @@ Usage::
     python -m repro stacking    [--fast] [--jobs N]
     python -m repro mechanisms
     python -m repro report   [--fast] [--jobs N] [-o report.md]
+                             [--stats stats.json] [--log-json events.jsonl]
     python -m repro simulate BENCHMARK [--config 3D] [--length N]
     python -m repro trace BENCHMARK [--length N] [-o trace.jsonl.gz]
     python -m repro cache [info|list|clear]
@@ -143,8 +144,10 @@ def _cmd_cache(args) -> int:
 
     cache = ResultCache()
     if args.action == "clear":
+        tmp_count = len(cache.tmp_files())
         removed = cache.clear()
-        print(f"removed {removed} cached results from {cache.root}")
+        print(f"removed {removed} cached results and {tmp_count} temp "
+              f"file(s) from {cache.root}")
     elif args.action == "list":
         entries = cache.entries()
         for path in entries:
@@ -152,7 +155,9 @@ def _cmd_cache(args) -> int:
             print(f"{path.name.split('.')[0]}  {size / 1024:7.1f} KiB")
         print(f"{len(entries)} entries, {cache.size_bytes() / 1024:.1f} KiB total")
     else:
+        swept = cache.sweep_tmp()
         print(cache.describe())
+        print(f"stale temp files swept: {swept}")
     return 0
 
 
@@ -169,7 +174,7 @@ def _cmd_report(args) -> int:
         print(f"wrote {args.output}")
     else:
         print(text)
-    if args.stats:
+    if args.stats or args.log_json:
         import json
 
         from repro.thermal.solver import FACTORIZATION_STATS
@@ -178,17 +183,25 @@ def _cmd_report(args) -> int:
             "wall_s": round(wall_s, 3),
             "jobs": context.jobs,
             "fast": bool(args.fast),
-            "simulated": context.stats.simulated,
-            "sim_disk_hits": context.stats.disk_hits,
-            "thermal_solved": context.stats.thermal_solved,
-            "thermal_disk_hits": context.stats.thermal_disk_hits,
+            **context.stats.as_dict(),
             "factorizations": FACTORIZATION_STATS.factorizations,
             "factorization_cache_hits": FACTORIZATION_STATS.cache_hits,
         }
-        with open(args.stats, "w", encoding="utf-8") as stream:
-            json.dump(payload, stream, indent=2)
-            stream.write("\n")
-        print(f"wrote {args.stats}")
+        if args.stats:
+            with open(args.stats, "w", encoding="utf-8") as stream:
+                json.dump(payload, stream, indent=2)
+                stream.write("\n")
+            print(f"wrote {args.stats}")
+        if args.log_json:
+            # One robustness event per line, closed by a summary record —
+            # greppable in CI logs, streamable into log pipelines.
+            with open(args.log_json, "w", encoding="utf-8") as stream:
+                for event in context.stats.events:
+                    stream.write(json.dumps(event, sort_keys=True) + "\n")
+                stream.write(json.dumps(
+                    {"event": "summary", **payload}, sort_keys=True) + "\n")
+            print(f"wrote {args.log_json} "
+                  f"({len(context.stats.events)} robustness events)")
     return 0
 
 
@@ -270,6 +283,9 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--stats", metavar="FILE",
                         help="write wall-clock and simulation/thermal-solve "
                              "counters as JSON (for benchmark tracking)")
+    report.add_argument("--log-json", metavar="FILE", dest="log_json",
+                        help="write per-event robustness telemetry (retries, "
+                             "pool restarts, serial fallbacks) as JSON lines")
 
     cache = add("cache", _cmd_cache, "inspect or clear the on-disk result cache",
                 fast=False)

@@ -44,6 +44,7 @@ import json
 import os
 import pickle
 import shutil
+import time
 from pathlib import Path
 from typing import Iterator, List, Optional
 
@@ -136,6 +137,8 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: bad entries (corrupt, truncated, wrong type) deleted on load
+        self.evictions = 0
 
     @classmethod
     def from_env(cls) -> Optional["ResultCache"]:
@@ -154,8 +157,10 @@ class ResultCache:
         """The cached result for ``key``, or ``None`` on a miss.
 
         ``expected_type`` guards against key collisions across result
-        kinds (simulation vs thermal).  Unreadable entries (truncated
-        writes, incompatible pickles) are deleted and treated as misses.
+        kinds (simulation vs thermal).  Bad entries — truncated writes,
+        incompatible pickles, payloads of the wrong type — are deleted
+        and treated as misses, so one damaged file costs one re-run, not
+        a re-read-and-miss on every subsequent load.
         """
         path = self._path(key)
         try:
@@ -166,24 +171,29 @@ class ResultCache:
             return None
         except (OSError, EOFError, pickle.UnpicklingError,
                 AttributeError, ImportError, IndexError):
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self._evict(path)
             self.misses += 1
             return None
         if not isinstance(result, expected_type):
+            self._evict(path)
             self.misses += 1
             return None
         self.hits += 1
         return result
 
+    def _evict(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            return
+        self.evictions += 1
+
     def store(self, key: str, result) -> None:
         """Persist ``result`` under ``key`` (atomic within a filesystem)."""
         path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
         try:
+            path.parent.mkdir(parents=True, exist_ok=True)
             with gzip.open(tmp, "wb") as stream:
                 pickle.dump(result, stream, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)
@@ -216,6 +226,56 @@ class ResultCache:
     def size_bytes(self) -> int:
         return sum(p.stat().st_size for p in self.entries())
 
+    # ------------------------------------------------------------------ #
+    # Temp-file hygiene
+
+    def tmp_files(self) -> List[Path]:
+        """All ``*.tmp`` writer scratch files anywhere under the cache."""
+        if not self.root.is_dir():
+            return []
+        return sorted(p for p in self.root.rglob("*.tmp") if p.is_file())
+
+    @staticmethod
+    def _writer_alive(path: Path) -> bool:
+        """Whether the process that owns a ``<key>.pkl.gz.<pid>.tmp`` lives."""
+        parts = path.name.split(".")
+        try:
+            pid = int(parts[-2])
+        except (IndexError, ValueError):
+            return False  # not one of ours; treat as abandoned
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return False
+        except OSError:
+            return True  # exists but owned by someone else (EPERM etc.)
+        return True
+
+    def sweep_tmp(self, max_age_s: float = 3600.0) -> int:
+        """Delete scratch files abandoned by writers that died mid-store.
+
+        A ``store`` that is interrupted between writing its temp file and
+        the atomic ``os.replace`` leaks the temp file forever; this
+        removes any whose writer process is gone, plus any older than
+        ``max_age_s`` (stores take milliseconds — an hour-old temp file
+        is garbage no matter who owns the pid now).  Returns the count.
+        """
+        removed = 0
+        now = time.time()
+        for path in self.tmp_files():
+            try:
+                age = now - path.stat().st_mtime
+            except OSError:
+                continue  # already gone (concurrent sweep or writer finish)
+            if self._writer_alive(path) and age < max_age_s:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+        return removed
+
     def clear(self) -> int:
         """Remove the whole cache directory; returns the entry count removed."""
         count = len(self.entries())
@@ -243,4 +303,7 @@ class ResultCache:
         if stale:
             names = ", ".join(p.name for p in stale)
             lines.append(f"stale versions:  {names} (run `repro cache clear`)")
+        tmp = self.tmp_files()
+        if tmp:
+            lines.append(f"temp files:      {len(tmp)} in-flight or abandoned")
         return "\n".join(lines)

@@ -21,6 +21,8 @@ Two additional layers make repeated and large evaluations cheap:
 from __future__ import annotations
 
 import os
+import time
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -48,6 +50,19 @@ CORE_COUNT = 2
 
 #: Environment variable setting the default simulation worker count.
 ENV_JOBS = "REPRO_JOBS"
+
+#: Worker-pool attempts each task gets before it falls back to running
+#: serially in this process (1 first try + N-1 retries on a fresh pool).
+MAX_TASK_ATTEMPTS = 3
+
+#: Broken-pool restarts per batch before the whole remainder goes serial.
+MAX_POOL_RESTARTS = 3
+
+#: Base of the bounded exponential backoff between pool restarts.
+RETRY_BACKOFF_S = 0.05
+
+#: Backoff ceiling — a restart never waits longer than this.
+MAX_BACKOFF_S = 2.0
 
 #: Configuration labels -> whether they are evaluated as a 3D stack.
 CONFIG_STACKS: Dict[str, StackKind] = {
@@ -82,7 +97,16 @@ class ExperimentSettings:
 
 @dataclass
 class ContextStats:
-    """Where this context's simulation and thermal results came from."""
+    """Where this context's results came from, and what it took to get them.
+
+    Besides provenance counters (simulated vs disk hits) this carries the
+    robustness telemetry of the fault-tolerant executor: how many task
+    submissions worker pools saw, how often tasks were retried, how often
+    a broken pool was restarted, how many tasks ended up running serially
+    in-process, and wall-clock per pipeline stage.  ``events`` is an
+    append-only log of the individual robustness incidents, emitted by
+    ``repro report --log-json``.
+    """
 
     #: simulations actually executed (serial or in workers)
     simulated: int = 0
@@ -92,6 +116,41 @@ class ContextStats:
     thermal_solved: int = 0
     #: thermal maps served from the on-disk cache
     thermal_disk_hits: int = 0
+    #: task submissions handed to worker pools (includes resubmissions)
+    tasks_run: int = 0
+    #: tasks resubmitted to a pool after an in-task exception
+    task_retries: int = 0
+    #: fresh pools created after a BrokenProcessPool (worker death)
+    pool_restarts: int = 0
+    #: tasks that gave up on pools and ran serially in this process
+    serial_fallbacks: int = 0
+    #: accumulated wall-clock per pipeline stage (e.g. simulate, thermal)
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+    #: robustness incidents, in order ({"event": ..., **detail})
+    events: List[dict] = field(default_factory=list)
+
+    def add_stage(self, stage: str, seconds: float) -> None:
+        self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
+
+    def record_event(self, event: str, **detail) -> None:
+        self.events.append({"event": event, **detail})
+
+    def as_dict(self) -> dict:
+        """Telemetry payload for ``--stats`` files and the CI benchmark report."""
+        return {
+            "simulated": self.simulated,
+            "sim_disk_hits": self.disk_hits,
+            "thermal_solved": self.thermal_solved,
+            "thermal_disk_hits": self.thermal_disk_hits,
+            "tasks_run": self.tasks_run,
+            "task_retries": self.task_retries,
+            "pool_restarts": self.pool_restarts,
+            "serial_fallbacks": self.serial_fallbacks,
+            "stage_seconds": {
+                stage: round(seconds, 3)
+                for stage, seconds in sorted(self.stage_seconds.items())
+            },
+        }
 
 
 def _all_configurations() -> Dict[str, CPUConfig]:
@@ -110,14 +169,27 @@ def _resolve_jobs(jobs: Optional[int]) -> int:
         try:
             return max(1, int(env))
         except ValueError:
-            pass
+            warnings.warn(
+                f"ignoring invalid {ENV_JOBS}={env!r} (not an integer); "
+                f"defaulting to os.cpu_count()={os.cpu_count()}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
     return os.cpu_count() or 1
 
 
 def _simulate_task(
     benchmark: str, config: CPUConfig, trace_length: int, warmup: int
 ) -> SimulationResult:
-    """Worker entry point: regenerate the (deterministic) trace and run."""
+    """Worker entry point: regenerate the (deterministic) trace and run.
+
+    The fault point is a no-op unless a fault-injection token directory
+    is armed (see :mod:`repro.experiments.faults`); the serial path calls
+    :func:`repro.cpu.pipeline.simulate` directly and is never injected.
+    """
+    from repro.experiments.faults import maybe_inject_worker_fault
+
+    maybe_inject_worker_fault()
     trace = generate(benchmark, length=trace_length)
     return simulate(trace, config, warmup=warmup)
 
@@ -139,6 +211,11 @@ class ExperimentContext:
             ResultCache.from_env() if cache is _AUTO_CACHE else cache
         )
         self.stats = ContextStats()
+        #: fault-tolerance knobs (instance attributes so tests and callers
+        #: can tighten them without touching the module-level defaults)
+        self.max_task_attempts = MAX_TASK_ATTEMPTS
+        self.max_pool_restarts = MAX_POOL_RESTARTS
+        self.retry_backoff_s = RETRY_BACKOFF_S
         self._traces: Dict[str, Trace] = {}
         self._runs: Dict[Tuple[str, str], SimulationResult] = {}
         self._config_runs: Dict[Tuple[str, str], SimulationResult] = {}
@@ -280,29 +357,148 @@ class ExperimentContext:
                 self.cache.store(cache_key, result)
 
     def _execute(self, tasks: List[Tuple[str, CPUConfig]]) -> List[SimulationResult]:
-        """Run simulations, fanning out across processes when worthwhile."""
+        """Run simulations, fanning out across processes when worthwhile.
+
+        The parallel path is fault tolerant: every task is tracked
+        individually, completed results are never discarded, a dead
+        worker (OOM kill, interpreter abort) only costs the tasks that
+        had not finished — they are retried on a fresh pool with bounded
+        exponential backoff — and tasks that keep failing run serially
+        in this process.  A pool that keeps breaking degrades the whole
+        remainder to serial execution with a warning.  Simulations are
+        deterministic, so every recovery path yields results identical
+        to a clean run; :class:`ContextStats` records what happened.
+        """
+        start = time.perf_counter()
+        try:
+            return self._execute_batch(tasks)
+        finally:
+            self.stats.add_stage("simulate", time.perf_counter() - start)
+
+    def _run_serial(self, benchmark: str, config: CPUConfig) -> SimulationResult:
+        """One in-process simulation (also the per-task fallback path)."""
+        return simulate(self.trace(benchmark), config, warmup=self.settings.warmup)
+
+    def _new_pool(self, workers: int):
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+            return ProcessPoolExecutor(max_workers=workers)
+        except (ImportError, NotImplementedError, OSError):
+            return None  # restricted platforms: caller falls back to serial
+
+    def _serial_remainder(self, tasks, results, indices, reason: str):
+        """Finish ``indices`` serially after the pool path was abandoned."""
+        warnings.warn(
+            f"simulation worker pool unusable ({reason}); running "
+            f"{len(indices)} remaining task(s) serially",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        self.stats.record_event("serial_degrade", reason=reason,
+                                tasks=len(indices))
+        for index in indices:
+            results[index] = self._run_serial(*tasks[index])
+            self.stats.serial_fallbacks += 1
+
+    def _execute_batch(self, tasks: List[Tuple[str, CPUConfig]]) -> List[SimulationResult]:
         workers = min(self.jobs, len(tasks))
-        if workers > 1:
-            try:
-                from concurrent.futures import ProcessPoolExecutor
-                pool = ProcessPoolExecutor(max_workers=workers)
-            except (ImportError, NotImplementedError, OSError):
-                pool = None  # restricted platforms: fall through to serial
-            if pool is not None:
-                settings = self.settings
-                with pool:
-                    futures = [
-                        pool.submit(
+        if workers <= 1:
+            return [self._run_serial(benchmark, config) for benchmark, config in tasks]
+        pool = self._new_pool(workers)
+        if pool is None:
+            self.stats.record_event("pool_unavailable", tasks=len(tasks))
+            return [self._run_serial(benchmark, config) for benchmark, config in tasks]
+
+        from concurrent.futures.process import BrokenProcessPool
+
+        settings = self.settings
+        results: List[Optional[SimulationResult]] = [None] * len(tasks)
+        attempts = [0] * len(tasks)
+        pending = list(range(len(tasks)))
+        restarts = 0
+        try:
+            while pending:
+                futures = {}
+                pool_broken = False
+                failed: List[int] = []
+                for index in pending:
+                    benchmark, config = tasks[index]
+                    try:
+                        future = pool.submit(
                             _simulate_task, benchmark, config,
                             settings.trace_length, settings.warmup,
                         )
-                        for benchmark, config in tasks
-                    ]
-                    return [future.result() for future in futures]
-        return [
-            simulate(self.trace(benchmark), config, warmup=self.settings.warmup)
-            for benchmark, config in tasks
-        ]
+                    except (BrokenProcessPool, RuntimeError):
+                        # The pool broke under our feet; everything not
+                        # yet submitted joins the retry set.
+                        pool_broken = True
+                        failed.append(index)
+                        continue
+                    futures[future] = index
+                self.stats.tasks_run += len(futures)
+                for future, index in futures.items():
+                    try:
+                        results[index] = future.result()
+                    except BrokenProcessPool:
+                        pool_broken = True
+                        failed.append(index)
+                    except Exception as exc:  # in-task failure, pool alive
+                        attempts[index] += 1
+                        failed.append(index)
+                        self.stats.record_event(
+                            "task_error",
+                            benchmark=tasks[index][0],
+                            config=tasks[index][1].name,
+                            attempt=attempts[index],
+                            error=repr(exc),
+                        )
+                if not failed:
+                    break
+
+                if pool_broken:
+                    pool.shutdown(wait=False)
+                    pool = None
+                    if restarts >= self.max_pool_restarts:
+                        self._serial_remainder(
+                            tasks, results, failed,
+                            f"broke {restarts + 1} times",
+                        )
+                        break
+                    restarts += 1
+                    self.stats.pool_restarts += 1
+                    self.stats.record_event("pool_restart", restart=restarts,
+                                            tasks=len(failed))
+                    time.sleep(min(MAX_BACKOFF_S,
+                                   self.retry_backoff_s * 2 ** (restarts - 1)))
+                    pool = self._new_pool(workers)
+                    if pool is None:
+                        self._serial_remainder(tasks, results, failed,
+                                               "could not be recreated")
+                        break
+                    pending = failed
+                    continue
+
+                # Pool is healthy: retry transient in-task failures on it,
+                # run repeat offenders serially (a genuine, deterministic
+                # error will surface from the serial run).
+                pending = []
+                for index in failed:
+                    if attempts[index] < self.max_task_attempts:
+                        pending.append(index)
+                        self.stats.task_retries += 1
+                    else:
+                        self.stats.record_event(
+                            "serial_fallback",
+                            benchmark=tasks[index][0],
+                            config=tasks[index][1].name,
+                            attempts=attempts[index],
+                        )
+                        results[index] = self._run_serial(*tasks[index])
+                        self.stats.serial_fallbacks += 1
+        finally:
+            if pool is not None:
+                pool.shutdown()
+        return results
 
     # ------------------------------------------------------------------ #
 
@@ -446,7 +642,9 @@ class ExperimentContext:
                     continue
             pending.append((position, key))
         if pending:
+            start = time.perf_counter()
             solved = solver.solve_many([batches[pos] for pos, _ in pending])
+            self.stats.add_stage("thermal", time.perf_counter() - start)
             for (position, key), result in zip(pending, solved):
                 self.stats.thermal_solved += 1
                 results[position] = result

@@ -1,0 +1,236 @@
+"""Fault injection for the experiment engine.
+
+Long simulation campaigns only earn trust in their fault tolerance if
+the faults actually happen, so this module makes them happen on demand:
+
+* **worker crashes** — :func:`arm_worker_kills` drops one claimable
+  token per requested crash into a directory; any simulation worker that
+  starts a task while ``REPRO_FAULT_DIR`` points at that directory
+  atomically claims a token and dies (``os._exit``, like an OOM kill) or
+  raises (an in-task software fault).  Tokens are consumed exactly once,
+  so retries on a fresh pool succeed and the batch converges.
+* **cache corruption** — :func:`corrupt_entry` overwrites or truncates a
+  cache file in place, exercising the loader's delete-and-miss path.
+* **filesystem faults** — :func:`full_disk` and
+  :func:`read_only_filesystem` make every cache *write* under a root
+  fail with ``ENOSPC`` / ``EROFS`` while leaving reads (and the rest of
+  the filesystem) untouched, exercising the cacheless degradation path.
+
+The token directory also works across processes: CI arms kills with
+``python -m repro.experiments.faults DIR --kills N`` and then runs a
+normal ``repro report`` under ``REPRO_FAULT_DIR=DIR``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import errno
+import gzip
+import os
+from pathlib import Path
+from typing import Iterator, List, Optional
+
+#: Directory holding claimable fault tokens (unset = no injection).
+ENV_FAULT_DIR = "REPRO_FAULT_DIR"
+
+#: Exit status of a deliberately killed worker (distinguishable in logs).
+KILL_EXIT_CODE = 87
+
+_KILL_PREFIX = "kill-"
+_RAISE_PREFIX = "raise-"
+_TOKEN_SUFFIX = ".token"
+
+
+class InjectedWorkerError(RuntimeError):
+    """Raised inside a worker that claimed a ``raise`` fault token."""
+
+
+def arm_worker_kills(directory, kills: int = 1) -> List[Path]:
+    """Create ``kills`` claimable kill tokens; returns their paths.
+
+    The caller still has to point ``REPRO_FAULT_DIR`` at ``directory``
+    (environment variables propagate to pool workers automatically).
+    """
+    return _arm(directory, _KILL_PREFIX, kills)
+
+
+def arm_worker_raises(directory, raises: int = 1) -> List[Path]:
+    """Like :func:`arm_worker_kills` but the worker raises instead of dying."""
+    return _arm(directory, _RAISE_PREFIX, raises)
+
+
+def _arm(directory, prefix: str, count: int) -> List[Path]:
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    existing = len(list(root.glob(f"{prefix}*{_TOKEN_SUFFIX}")))
+    tokens = []
+    for index in range(existing, existing + count):
+        token = root / f"{prefix}{index:04d}{_TOKEN_SUFFIX}"
+        token.touch()
+        tokens.append(token)
+    return tokens
+
+
+def pending_tokens(directory) -> List[Path]:
+    """Unclaimed fault tokens remaining under ``directory``."""
+    root = Path(directory)
+    if not root.is_dir():
+        return []
+    return sorted(root.glob(f"*{_TOKEN_SUFFIX}"))
+
+
+def _claim_token(prefix: str) -> bool:
+    """Atomically claim (unlink) one token; False when none are left."""
+    root = os.environ.get(ENV_FAULT_DIR, "").strip()
+    if not root:
+        return False
+    for token in sorted(Path(root).glob(f"{prefix}*{_TOKEN_SUFFIX}")):
+        try:
+            token.unlink()  # atomic: exactly one process wins each token
+        except OSError:
+            continue
+        return True
+    return False
+
+
+def maybe_inject_worker_fault() -> None:
+    """Fault point for simulation workers; no-op unless armed.
+
+    Called at worker-task entry.  Claiming a kill token terminates the
+    process without cleanup (``os._exit``), which is what an OOM kill or
+    interpreter abort looks like to the pool; a raise token throws
+    :class:`InjectedWorkerError` through the task instead.
+    """
+    if _claim_token(_KILL_PREFIX):
+        os._exit(KILL_EXIT_CODE)
+    if _claim_token(_RAISE_PREFIX):
+        raise InjectedWorkerError("injected worker fault (raise token claimed)")
+
+
+# ---------------------------------------------------------------------- #
+# Cache-entry corruption
+
+def corrupt_entry(path, mode: str = "garbage") -> None:
+    """Damage one cache entry in place.
+
+    ``garbage`` replaces the file with bytes that are not a gzip stream;
+    ``truncate`` keeps only the first half of the stream (a writer that
+    died mid-write, minus the atomic-rename protection) — clipping only
+    the gzip trailer would go unnoticed, because unpickling stops at the
+    STOP opcode without ever reading to end-of-stream.
+    """
+    path = Path(path)
+    if mode == "garbage":
+        path.write_bytes(b"\x00not a gzip pickle\x00")
+    elif mode == "truncate":
+        payload = path.read_bytes() or gzip.compress(b"\x80\x04")
+        path.write_bytes(payload[: max(1, len(payload) // 2)])
+    else:
+        raise ValueError(f"unknown corruption mode {mode!r}")
+
+
+# ---------------------------------------------------------------------- #
+# Filesystem faults (scoped to one directory tree)
+
+@contextlib.contextmanager
+def full_disk(root) -> Iterator[None]:
+    """Every gzip write under ``root`` fails with ``ENOSPC``."""
+    with _failing_writes(root, errno.ENOSPC, fail_mkdir=False):
+        yield
+
+
+@contextlib.contextmanager
+def read_only_filesystem(root) -> Iterator[None]:
+    """Every mkdir/write/rename under ``root`` fails with ``EROFS``."""
+    with _failing_writes(root, errno.EROFS, fail_mkdir=True):
+        yield
+
+
+def _under(path, root: Path) -> bool:
+    try:
+        Path(os.path.abspath(path)).relative_to(root)
+    except ValueError:
+        return False
+    return True
+
+
+@contextlib.contextmanager
+def _failing_writes(root, errno_code: int, fail_mkdir: bool) -> Iterator[None]:
+    """Patch the cache module's write syscalls to fail under ``root``.
+
+    Injection happens at the module-reference layer (the ``gzip``/``os``
+    names inside :mod:`repro.experiments.cache` and ``Path.mkdir``), so
+    the cache's real degradation code runs — nothing is stubbed out of
+    the path under test — while the rest of the process is unaffected.
+    """
+    import repro.experiments.cache as cache_module
+
+    root = Path(os.path.abspath(root))
+
+    def oserror(path) -> OSError:
+        return OSError(errno_code, os.strerror(errno_code), str(path))
+
+    real_gzip_open = cache_module.gzip.open
+    real_os_replace = cache_module.os.replace
+    real_mkdir = Path.mkdir
+
+    class _GzipShim:
+        def __getattr__(self, name):
+            return getattr(gzip, name)
+
+        def open(self, path, mode="rb", *args, **kwargs):
+            if any(flag in str(mode) for flag in "wxa") and _under(path, root):
+                raise oserror(path)
+            return real_gzip_open(path, mode, *args, **kwargs)
+
+    class _OsShim:
+        def __getattr__(self, name):
+            return getattr(os, name)
+
+        def replace(self, src, dst, **kwargs):
+            if _under(dst, root):
+                raise oserror(dst)
+            return real_os_replace(src, dst, **kwargs)
+
+    def guarded_mkdir(self, *args, **kwargs):
+        if _under(self, root):
+            raise oserror(self)
+        return real_mkdir(self, *args, **kwargs)
+
+    cache_module.gzip = _GzipShim()
+    cache_module.os = _OsShim()
+    if fail_mkdir:
+        Path.mkdir = guarded_mkdir
+    try:
+        yield
+    finally:
+        cache_module.gzip = gzip
+        cache_module.os = os
+        Path.mkdir = real_mkdir
+
+
+# ---------------------------------------------------------------------- #
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.experiments.faults DIR [--kills N] [--raises N]``"""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.faults",
+        description="Arm worker-fault tokens for a fault-injection run",
+    )
+    parser.add_argument("directory", help="token directory (REPRO_FAULT_DIR)")
+    parser.add_argument("--kills", type=int, default=0, metavar="N",
+                        help="worker kill tokens to arm (os._exit)")
+    parser.add_argument("--raises", type=int, default=0, metavar="N",
+                        help="worker raise tokens to arm (exception)")
+    args = parser.parse_args(argv)
+    tokens = arm_worker_kills(args.directory, args.kills) if args.kills else []
+    tokens += arm_worker_raises(args.directory, args.raises) if args.raises else []
+    print(f"armed {len(tokens)} fault tokens in {args.directory} "
+          f"(export {ENV_FAULT_DIR}={args.directory})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -100,10 +100,26 @@ def validate_trace(
 
 
 def validate_suite(traces: List[Trace]) -> Dict[str, List[str]]:
-    """Validate many traces; returns {trace name: violations} (non-empty only)."""
+    """Validate many traces; returns {trace name: violations} (non-empty only).
+
+    Trace names are not guaranteed unique: users can generate the same
+    benchmark twice with different parameters.  Repeated names are
+    disambiguated as ``name#2``, ``name#3``, … (in input order) so a
+    later duplicate never silently overwrites an earlier trace's
+    violations, and each duplicate's report notes the name clash.
+    """
     report: Dict[str, List[str]] = {}
+    occurrences: Dict[str, int] = {}
     for trace in traces:
+        count = occurrences.get(trace.name, 0) + 1
+        occurrences[trace.name] = count
         violations = validate_trace(trace)
-        if violations:
-            report[trace.name] = violations
+        if not violations:
+            continue
+        key = trace.name if count == 1 else f"{trace.name}#{count}"
+        if count > 1:
+            violations = violations + [
+                f"duplicate trace name {trace.name!r} (occurrence {count})"
+            ]
+        report[key] = violations
     return report

@@ -68,7 +68,8 @@ class TestParallelEquivalence:
         monkeypatch.setenv("REPRO_JOBS", "3")
         assert ExperimentContext(TINY, cache=None).jobs == 3
         monkeypatch.setenv("REPRO_JOBS", "not-a-number")
-        assert ExperimentContext(TINY, cache=None).jobs >= 1
+        with pytest.warns(RuntimeWarning, match="not-a-number"):
+            assert ExperimentContext(TINY, cache=None).jobs >= 1
         assert ExperimentContext(TINY, jobs=7, cache=None).jobs == 7
 
 
