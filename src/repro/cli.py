@@ -148,6 +148,14 @@ def _cmd_cache(args) -> int:
         removed = cache.clear()
         print(f"removed {removed} cached results and {tmp_count} temp "
               f"file(s) from {cache.root}")
+    elif args.action == "prune":
+        pruned = cache.prune()
+        print(f"evicted {pruned['evicted']} entries over the size cap, "
+              f"removed {pruned['stale_dirs']} stale schema dir(s), "
+              f"{pruned['tmp_files']} temp file(s), "
+              f"{pruned['claims']} abandoned claim(s)")
+        print(f"cache size now {pruned['size_bytes'] / 1024:.1f} KiB "
+              f"(evictions_size={cache.evictions_size})")
     elif args.action == "list":
         entries = cache.entries()
         for path in entries:
@@ -194,12 +202,22 @@ def _cmd_report(args) -> int:
             print(f"wrote {args.stats}")
         if args.log_json:
             # One robustness event per line, closed by a summary record —
-            # greppable in CI logs, streamable into log pipelines.
+            # greppable in CI logs, streamable into log pipelines.  Every
+            # line carries ts/run_id/batch_id for correlation with
+            # external job-runner logs.
+            from datetime import datetime, timezone
+
             with open(args.log_json, "w", encoding="utf-8") as stream:
                 for event in context.stats.events:
                     stream.write(json.dumps(event, sort_keys=True) + "\n")
-                stream.write(json.dumps(
-                    {"event": "summary", **payload}, sort_keys=True) + "\n")
+                summary = {
+                    "event": "summary",
+                    "ts": datetime.now(timezone.utc).isoformat(
+                        timespec="milliseconds"),
+                    "batch_id": None,
+                    **payload,
+                }
+                stream.write(json.dumps(summary, sort_keys=True) + "\n")
             print(f"wrote {args.log_json} "
                   f"({len(context.stats.events)} robustness events)")
     return 0
@@ -290,8 +308,10 @@ def build_parser() -> argparse.ArgumentParser:
     cache = add("cache", _cmd_cache, "inspect or clear the on-disk result cache",
                 fast=False)
     cache.add_argument("action", nargs="?", default="info",
-                       choices=("info", "list", "clear"),
-                       help="what to do (default: info)")
+                       choices=("info", "list", "clear", "prune"),
+                       help="what to do (default: info); prune enforces "
+                            "the REPRO_CACHE_MAX_MB size cap and sweeps "
+                            "abandoned temp/claim files")
 
     sim = add("simulate", _cmd_simulate, "simulate one benchmark", fast=False)
     sim.add_argument("benchmark")

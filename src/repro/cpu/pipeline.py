@@ -24,7 +24,7 @@ dispatch and charge the *group* at most one stall cycle (Section 3.1).
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.core.activity import ActivityCounters, NUM_DIES
 from repro.core.alu import PartitionedALU
@@ -46,6 +46,15 @@ from repro.isa.values import is_low_width
 #: Timing-model version, part of the on-disk result-cache key.  Bump on
 #: any change that alters simulation outcomes so stale entries never hit.
 SIMULATOR_VERSION = 1
+
+#: Fault-injection hook: when set, called with each instruction index at
+#: the top of the simulation loop.  Armed inside worker processes by the
+#: fault harness (:mod:`repro.experiments.faults`) to kill or hang a
+#: simulation *mid-flight* — after activity state has started to
+#: accumulate — so recovery is exercised against partially-written
+#: state, not just clean task entry.  ``None`` (the production default)
+#: costs one local-variable branch per instruction.
+FAULT_HOOK: Optional[Callable[[int], None]] = None
 
 
 class _Pool:
@@ -283,7 +292,11 @@ class TimingSimulator:
         cpi_stack: Dict[str, int] = {}
         prev_commit_for_stack = 0
 
+        fault_hook = FAULT_HOOK
+
         for index, inst in enumerate(trace):
+            if fault_hook is not None:
+                fault_hook(index)
             if index == warmup and warmup:
                 self._reset_measurement()
                 cycle_base = last_commit_cycle

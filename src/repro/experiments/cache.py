@@ -32,6 +32,19 @@ removes them.
 
 The cache is on by default; ``REPRO_CACHE=0`` disables it and
 ``REPRO_CACHE_DIR`` relocates it.
+
+Two cross-process concerns are handled here as well:
+
+* **claim files** — ``<key>.claim`` markers (created with
+  ``O_CREAT|O_EXCL``, carrying the claimant's pid and a timestamp) let
+  concurrent cold starts on the same key deduplicate to one simulation:
+  the loser waits for the winner's entry instead of re-simulating, and
+  takes over stale claims whose holder died.  Claims are advisory —
+  losing one never blocks progress, it only avoids duplicate work.
+* **size bound** — ``REPRO_CACHE_MAX_MB`` sets a high-water mark; every
+  ``store`` evicts oldest-mtime entries first until the cache fits.
+  Loads touch their entry's mtime *before* reading, so an entry being
+  read is the freshest and never the eviction victim.
 """
 
 from __future__ import annotations
@@ -45,6 +58,7 @@ import os
 import pickle
 import shutil
 import time
+import warnings
 from pathlib import Path
 from typing import Iterator, List, Optional
 
@@ -63,7 +77,17 @@ ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 #: Environment variable disabling the cache ("0", "off", "no", "false").
 ENV_CACHE_ENABLED = "REPRO_CACHE"
 
+#: Environment variable bounding the cache size (megabytes, float OK).
+ENV_CACHE_MAX_MB = "REPRO_CACHE_MAX_MB"
+
 _DISABLED_VALUES = frozenset({"0", "off", "no", "false"})
+
+#: Suffix of cross-process claim markers (next to their ``.pkl.gz`` entry).
+CLAIM_SUFFIX = ".claim"
+
+#: Age beyond which a claim is stale even if its holder pid is alive
+#: (a wedged holder must not block other processes forever).
+DEFAULT_CLAIM_STALE_S = 1800.0
 
 
 def _canonical(value):
@@ -126,19 +150,57 @@ def thermal_key(solver, die_power_grids) -> str:
     return digest.hexdigest()
 
 
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (EPERM counts as alive)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True
+    return True
+
+
 class ResultCache:
     """Load/store :class:`SimulationResult` objects keyed by content hash."""
 
-    def __init__(self, root: Optional[os.PathLike] = None):
+    def __init__(
+        self,
+        root: Optional[os.PathLike] = None,
+        max_mb: Optional[float] = None,
+    ):
         if root is None:
             root = os.environ.get(ENV_CACHE_DIR) or DEFAULT_CACHE_DIR
         self.root = Path(root)
         self.version_dir = self.root / f"v{CACHE_SCHEMA_VERSION}"
+        if max_mb is None:
+            self.max_bytes = self._max_bytes_from_env()
+        else:
+            self.max_bytes = int(max_mb * 1024 * 1024) if max_mb > 0 else None
         self.hits = 0
         self.misses = 0
         self.stores = 0
         #: bad entries (corrupt, truncated, wrong type) deleted on load
         self.evictions = 0
+        #: good entries evicted to respect the size high-water mark
+        self.evictions_size = 0
+
+    @staticmethod
+    def _max_bytes_from_env() -> Optional[int]:
+        raw = os.environ.get(ENV_CACHE_MAX_MB, "").strip()
+        if not raw:
+            return None
+        try:
+            max_mb = float(raw)
+        except ValueError:
+            warnings.warn(
+                f"ignoring invalid {ENV_CACHE_MAX_MB}={raw!r} (not a number); "
+                f"cache size is unbounded",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+        return int(max_mb * 1024 * 1024) if max_mb > 0 else None
 
     @classmethod
     def from_env(cls) -> Optional["ResultCache"]:
@@ -163,6 +225,13 @@ class ResultCache:
         a re-read-and-miss on every subsequent load.
         """
         path = self._path(key)
+        try:
+            # Touch *before* reading: the size-cap evictor removes
+            # oldest-mtime entries first, so an entry being read is the
+            # freshest in the cache and never the victim.
+            os.utime(path)
+        except OSError:
+            pass
         try:
             with gzip.open(path, "rb") as stream:
                 result = pickle.load(stream)
@@ -205,6 +274,147 @@ class ResultCache:
                 pass
             return
         self.stores += 1
+        self.enforce_size_cap(protect=path)
+
+    # ------------------------------------------------------------------ #
+    # Size high-water mark
+
+    def enforce_size_cap(self, protect: Optional[Path] = None) -> int:
+        """Evict oldest-mtime entries until the cache fits ``max_bytes``.
+
+        ``protect`` (the entry just stored) is never evicted, nor is the
+        freshest-mtime survivor an in-progress ``load`` just touched.
+        Returns the number of entries removed.
+        """
+        if self.max_bytes is None:
+            return 0
+        infos = []
+        total = 0
+        for path in self.entries():
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            infos.append((st.st_mtime, st.st_size, path))
+            total += st.st_size
+        removed = 0
+        for mtime, size, path in sorted(infos, key=lambda t: (t[0], str(t[2]))):
+            if total <= self.max_bytes:
+                break
+            if protect is not None and path == protect:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+            self.evictions_size += 1
+        return removed
+
+    # ------------------------------------------------------------------ #
+    # Cross-process claims
+
+    def _claim_path(self, key: str) -> Path:
+        return self.version_dir / key[:2] / f"{key}{CLAIM_SUFFIX}"
+
+    def try_claim(self, key: str) -> bool:
+        """Atomically claim ``key`` for this process.
+
+        True means "go simulate" — either the claim file was created
+        (``O_CREAT|O_EXCL``: exactly one process wins) or the filesystem
+        refused coordination (read-only etc.), in which case running
+        uncoordinated is the only safe degradation.  False means another
+        live process holds the claim; wait for its entry instead.
+        """
+        path = self._claim_path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        except OSError:
+            return True
+        try:
+            os.write(fd, json.dumps(
+                {"pid": os.getpid(), "ts": time.time()}).encode("utf-8"))
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+        return True
+
+    def claim_holder(self, key: str) -> Optional[dict]:
+        """The claim's ``{"pid": ..., "ts": ...}`` payload; ``{}`` when the
+        claim exists but is unreadable/garbled; ``None`` when unclaimed."""
+        path = self._claim_path(key)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return None
+        except OSError:
+            return {}
+        try:
+            data = json.loads(raw)
+        except ValueError:
+            return {}
+        return data if isinstance(data, dict) else {}
+
+    def claim_stale(
+        self, key: str, max_age_s: float = DEFAULT_CLAIM_STALE_S
+    ) -> bool:
+        """Whether ``key``'s claim is abandoned (dead holder or too old)."""
+        holder = self.claim_holder(key)
+        if holder is None:
+            return False
+        pid = holder.get("pid")
+        if not isinstance(pid, int) or not _pid_alive(pid):
+            return True
+        ts = holder.get("ts")
+        if not isinstance(ts, (int, float)):
+            try:
+                ts = self._claim_path(key).stat().st_mtime
+            except OSError:
+                return False  # claim vanished between reads: not stale, gone
+        return (time.time() - ts) > max_age_s
+
+    def break_claim(self, key: str) -> None:
+        """Forcibly remove ``key``'s claim (stale-claim takeover)."""
+        try:
+            self._claim_path(key).unlink()
+        except OSError:
+            pass
+
+    def release_claim(self, key: str) -> None:
+        """Remove ``key``'s claim if this process owns it (or it is garbled)."""
+        holder = self.claim_holder(key)
+        if holder is None:
+            return
+        pid = holder.get("pid")
+        if isinstance(pid, int) and pid != os.getpid():
+            return
+        self.break_claim(key)
+
+    def claims(self) -> List[Path]:
+        """All claim files of the current schema version, sorted."""
+        if not self.version_dir.is_dir():
+            return []
+        return sorted(self.version_dir.glob(f"*/*{CLAIM_SUFFIX}"))
+
+    def sweep_claims(self, max_age_s: float = DEFAULT_CLAIM_STALE_S) -> int:
+        """Delete claims abandoned by dead holders (or older than
+        ``max_age_s``); returns the count removed."""
+        removed = 0
+        for path in self.claims():
+            key = path.name[: -len(CLAIM_SUFFIX)]
+            if not self.claim_stale(key, max_age_s):
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+        return removed
 
     # ------------------------------------------------------------------ #
 
@@ -243,13 +453,7 @@ class ResultCache:
             pid = int(parts[-2])
         except (IndexError, ValueError):
             return False  # not one of ours; treat as abandoned
-        try:
-            os.kill(pid, 0)
-        except ProcessLookupError:
-            return False
-        except OSError:
-            return True  # exists but owned by someone else (EPERM etc.)
-        return True
+        return _pid_alive(pid)
 
     def sweep_tmp(self, max_age_s: float = 3600.0) -> int:
         """Delete scratch files abandoned by writers that died mid-store.
@@ -290,14 +494,31 @@ class ResultCache:
             shutil.rmtree(directory, ignore_errors=True)
         return len(stale)
 
+    def prune(self) -> dict:
+        """One-shot hygiene pass: stale schema dirs, abandoned temp files
+        and claims, and size-cap enforcement.  Returns what was removed."""
+        return {
+            "stale_dirs": self.prune_stale(),
+            "tmp_files": self.sweep_tmp(),
+            "claims": self.sweep_claims(),
+            "evicted": self.enforce_size_cap(),
+            "size_bytes": self.size_bytes(),
+        }
+
     def describe(self) -> str:
         """Human-readable cache summary for the CLI."""
         entries = self.entries()
+        if self.max_bytes is not None:
+            cap = f"{self.max_bytes / (1024 * 1024):.1f} MiB ({ENV_CACHE_MAX_MB})"
+        else:
+            cap = "unbounded"
         lines = [
             f"cache directory: {self.root.resolve()}",
             f"key schema:      v{CACHE_SCHEMA_VERSION}",
             f"entries:         {len(entries)}",
             f"size:            {self.size_bytes() / 1024:.1f} KiB",
+            f"size cap:        {cap}",
+            f"size evictions:  {self.evictions_size} (this process)",
         ]
         stale = self.stale_version_dirs()
         if stale:
@@ -306,4 +527,7 @@ class ResultCache:
         tmp = self.tmp_files()
         if tmp:
             lines.append(f"temp files:      {len(tmp)} in-flight or abandoned")
+        claims = self.claims()
+        if claims:
+            lines.append(f"claims:          {len(claims)} in-flight or stale")
         return "\n".join(lines)

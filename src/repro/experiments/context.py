@@ -22,14 +22,21 @@ from __future__ import annotations
 
 import os
 import time
+import uuid
 import warnings
+from datetime import datetime, timezone
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.cpu.config import CPUConfig, paper_configurations
 from repro.cpu.pipeline import simulate
 from repro.cpu.results import SimulationResult
-from repro.experiments.cache import ResultCache, simulation_key, thermal_key
+from repro.experiments.cache import (
+    DEFAULT_CLAIM_STALE_S,
+    ResultCache,
+    simulation_key,
+    thermal_key,
+)
 from repro.floorplan import Floorplan, planar_floorplan, stacked_floorplan
 from repro.isa.trace import Trace
 from repro.power.model import (
@@ -51,6 +58,19 @@ CORE_COUNT = 2
 #: Environment variable setting the default simulation worker count.
 ENV_JOBS = "REPRO_JOBS"
 
+#: Per-task deadline (seconds) for pool workers; unset/empty = no deadline.
+#: A worker that exceeds it is presumed hung (deadlock, livelock): its
+#: task re-enters the retry ladder and the pool is recycled.
+ENV_TASK_TIMEOUT = "REPRO_TASK_TIMEOUT_S"
+
+#: Thermal solves whose system has at least this many unknowns
+#: (layers x ny x nx) run in a supervised subprocess; unset = in-process.
+ENV_THERMAL_SUBPROC = "REPRO_THERMAL_SUBPROC_CELLS"
+
+#: Deadline (seconds) for a supervised thermal subprocess; defaults to
+#: REPRO_TASK_TIMEOUT_S, unset = wait for completion (crash-isolated only).
+ENV_THERMAL_TIMEOUT = "REPRO_THERMAL_TIMEOUT_S"
+
 #: Worker-pool attempts each task gets before it falls back to running
 #: serially in this process (1 first try + N-1 retries on a fresh pool).
 MAX_TASK_ATTEMPTS = 3
@@ -63,6 +83,13 @@ RETRY_BACKOFF_S = 0.05
 
 #: Backoff ceiling — a restart never waits longer than this.
 MAX_BACKOFF_S = 2.0
+
+#: Bounded wait (seconds) on another process's cache claim before taking
+#: over and simulating anyway (duplicate work beats waiting forever).
+CLAIM_WAIT_S = 120.0
+
+#: Poll interval while waiting on another process's claim.
+CLAIM_POLL_S = 0.05
 
 #: Configuration labels -> whether they are evaluated as a 3D stack.
 CONFIG_STACKS: Dict[str, StackKind] = {
@@ -120,32 +147,78 @@ class ContextStats:
     tasks_run: int = 0
     #: tasks resubmitted to a pool after an in-task exception
     task_retries: int = 0
+    #: tasks that exceeded their REPRO_TASK_TIMEOUT_S deadline
+    task_timeouts: int = 0
     #: fresh pools created after a BrokenProcessPool (worker death)
     pool_restarts: int = 0
     #: tasks that gave up on pools and ran serially in this process
     serial_fallbacks: int = 0
+    #: times this process waited on another process's cache claim
+    claim_waits: int = 0
+    #: results obtained from another process's simulation via a claim wait
+    claim_dedup: int = 0
+    #: stale or expired claims this process took over
+    claim_takeovers: int = 0
+    #: thermal batches solved in a supervised subprocess
+    thermal_subproc_solves: int = 0
+    #: supervised thermal solves that fell back in-process
+    thermal_subproc_fallbacks: int = 0
     #: accumulated wall-clock per pipeline stage (e.g. simulate, thermal)
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     #: robustness incidents, in order ({"event": ..., **detail})
     events: List[dict] = field(default_factory=list)
+    #: correlation id of the owning context, stamped on every event
+    run_id: str = ""
+    #: correlation id of the in-flight worker batch (None between batches)
+    batch_id: Optional[str] = None
+    _batch_seq: int = 0
 
     def add_stage(self, stage: str, seconds: float) -> None:
         self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
 
+    def begin_batch(self) -> str:
+        """Open a new batch scope; events until :meth:`end_batch` carry it."""
+        self._batch_seq += 1
+        self.batch_id = f"b{self._batch_seq:04d}"
+        return self.batch_id
+
+    def end_batch(self) -> None:
+        self.batch_id = None
+
     def record_event(self, event: str, **detail) -> None:
-        self.events.append({"event": event, **detail})
+        """Append one robustness incident, stamped for log correlation.
+
+        Every event carries an ISO-8601 UTC timestamp, the context's
+        ``run_id``, and the current ``batch_id`` (None outside a worker
+        batch) so ``--log-json`` lines line up with external job-runner
+        logs.
+        """
+        self.events.append({
+            "event": event,
+            "ts": datetime.now(timezone.utc).isoformat(timespec="milliseconds"),
+            "run_id": self.run_id,
+            "batch_id": self.batch_id,
+            **detail,
+        })
 
     def as_dict(self) -> dict:
         """Telemetry payload for ``--stats`` files and the CI benchmark report."""
         return {
+            "run_id": self.run_id,
             "simulated": self.simulated,
             "sim_disk_hits": self.disk_hits,
             "thermal_solved": self.thermal_solved,
             "thermal_disk_hits": self.thermal_disk_hits,
             "tasks_run": self.tasks_run,
             "task_retries": self.task_retries,
+            "task_timeouts": self.task_timeouts,
             "pool_restarts": self.pool_restarts,
             "serial_fallbacks": self.serial_fallbacks,
+            "claim_waits": self.claim_waits,
+            "claim_dedup": self.claim_dedup,
+            "claim_takeovers": self.claim_takeovers,
+            "thermal_subproc_solves": self.thermal_subproc_solves,
+            "thermal_subproc_fallbacks": self.thermal_subproc_fallbacks,
             "stage_seconds": {
                 stage: round(seconds, 3)
                 for stage, seconds in sorted(self.stage_seconds.items())
@@ -176,6 +249,23 @@ def _resolve_jobs(jobs: Optional[int]) -> int:
                 stacklevel=3,
             )
     return os.cpu_count() or 1
+
+
+def _env_positive_number(name: str, convert=float) -> Optional[float]:
+    """A positive number from the environment, or None (unset/invalid)."""
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        value = convert(raw)
+    except ValueError:
+        warnings.warn(
+            f"ignoring invalid {name}={raw!r} (not a number)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return None
+    return value if value > 0 else None
 
 
 def _simulate_task(
@@ -211,11 +301,25 @@ class ExperimentContext:
             ResultCache.from_env() if cache is _AUTO_CACHE else cache
         )
         self.stats = ContextStats()
+        self.stats.run_id = uuid.uuid4().hex[:12]
         #: fault-tolerance knobs (instance attributes so tests and callers
         #: can tighten them without touching the module-level defaults)
         self.max_task_attempts = MAX_TASK_ATTEMPTS
         self.max_pool_restarts = MAX_POOL_RESTARTS
         self.retry_backoff_s = RETRY_BACKOFF_S
+        #: per-task deadline; None (the default) waits indefinitely
+        self.task_timeout_s = _env_positive_number(ENV_TASK_TIMEOUT)
+        #: thermal systems at least this many unknowns go to a subprocess
+        self.thermal_subproc_cells = _env_positive_number(
+            ENV_THERMAL_SUBPROC, convert=int
+        )
+        self.thermal_timeout_s = (
+            _env_positive_number(ENV_THERMAL_TIMEOUT) or self.task_timeout_s
+        )
+        #: cross-process claim coordination knobs
+        self.claim_wait_s = CLAIM_WAIT_S
+        self.claim_poll_s = CLAIM_POLL_S
+        self.claim_stale_s = DEFAULT_CLAIM_STALE_S
         self._traces: Dict[str, Trace] = {}
         self._runs: Dict[Tuple[str, str], SimulationResult] = {}
         self._config_runs: Dict[Tuple[str, str], SimulationResult] = {}
@@ -248,18 +352,74 @@ class ExperimentContext:
         )
 
     def _load_or_simulate(self, benchmark: str, config: CPUConfig) -> SimulationResult:
-        """One simulation, served from disk when possible."""
+        """One simulation, served from disk (or a peer process) when possible."""
         key = self._cache_key(benchmark, config)
-        if self.cache is not None:
-            cached = self.cache.load(key)
-            if cached is not None:
-                self.stats.disk_hits += 1
-                return cached
-        result = simulate(self.trace(benchmark), config, warmup=self.settings.warmup)
-        self.stats.simulated += 1
-        if self.cache is not None:
+        if self.cache is None:
+            result = simulate(
+                self.trace(benchmark), config, warmup=self.settings.warmup
+            )
+            self.stats.simulated += 1
+            return result
+        cached = self.cache.load(key)
+        if cached is not None:
+            self.stats.disk_hits += 1
+            return cached
+        if not self.cache.try_claim(key):
+            peer_result = self._claim_coordinate(key)
+            if peer_result is not None:
+                return peer_result
+        try:
+            result = simulate(
+                self.trace(benchmark), config, warmup=self.settings.warmup
+            )
+            self.stats.simulated += 1
             self.cache.store(key, result)
+        finally:
+            self.cache.release_claim(key)
         return result
+
+    def _claim_coordinate(self, key: str):
+        """Wait (bounded) for the peer process holding ``key``'s claim.
+
+        Returns the peer's result when it lands on disk (one simulation
+        for N cold-starting processes), or None when this process should
+        simulate after all — the claim went stale (dead holder) and was
+        taken over, or the bounded wait expired.
+        """
+        cache = self.cache
+        self.stats.claim_waits += 1
+        self.stats.record_event("claim_wait", key=key[:16])
+        deadline = time.monotonic() + self.claim_wait_s
+        while True:
+            result = cache.load(key)
+            if result is not None:
+                self.stats.claim_dedup += 1
+                self.stats.record_event("claim_dedup", key=key[:16])
+                return result
+            if cache.claim_stale(key, self.claim_stale_s):
+                cache.break_claim(key)
+                self.stats.claim_takeovers += 1
+                self.stats.record_event(
+                    "claim_takeover", key=key[:16], reason="stale"
+                )
+                cache.try_claim(key)
+                return None
+            if cache.claim_holder(key) is None:
+                # Holder released without storing (full disk, crash between
+                # release and store): claim for ourselves and simulate.
+                self.stats.claim_takeovers += 1
+                self.stats.record_event(
+                    "claim_takeover", key=key[:16], reason="released"
+                )
+                cache.try_claim(key)
+                return None
+            if time.monotonic() >= deadline:
+                self.stats.claim_takeovers += 1
+                self.stats.record_event(
+                    "claim_takeover", key=key[:16], reason="wait_expired"
+                )
+                return None
+            time.sleep(self.claim_poll_s)
 
     def run(self, benchmark: str, config_label: str) -> SimulationResult:
         """The (cached) simulation of one benchmark under one configuration."""
@@ -330,14 +490,18 @@ class ExperimentContext:
 
         Each item is served from the memo, then the on-disk cache; the
         remainder is simulated — across worker processes when more than
-        one simulation is pending and ``jobs`` allows it.
+        one simulation is pending and ``jobs`` allows it.  Misses whose
+        cache key another process has claimed are not simulated here:
+        after our own batch completes, we wait (bounded) for the peer's
+        result and only take over if its claim goes stale.
         """
         pending = []
-        claimed = set()
+        waiting = []
+        seen = set()
         for memo, memo_key, benchmark, config in items:
-            if memo_key in memo or (id(memo), memo_key) in claimed:
+            if memo_key in memo or (id(memo), memo_key) in seen:
                 continue
-            claimed.add((id(memo), memo_key))
+            seen.add((id(memo), memo_key))
             cache_key = self._cache_key(benchmark, config)
             if self.cache is not None:
                 cached = self.cache.load(cache_key)
@@ -345,16 +509,39 @@ class ExperimentContext:
                     self.stats.disk_hits += 1
                     memo[memo_key] = cached
                     continue
+                if not self.cache.try_claim(cache_key):
+                    waiting.append((memo, memo_key, benchmark, config, cache_key))
+                    continue
             pending.append((memo, memo_key, benchmark, config, cache_key))
+        self._simulate_items(pending)
+        if not waiting:
+            return
+        takeover = []
+        for item in waiting:
+            memo, memo_key, _, _, cache_key = item
+            result = self._claim_coordinate(cache_key)
+            if result is not None:
+                memo[memo_key] = result
+            else:
+                takeover.append(item)
+        self._simulate_items(takeover)
+
+    def _simulate_items(self, pending) -> None:
+        """Simulate claimed work items in parallel; store and release."""
         if not pending:
             return
         tasks = [(benchmark, config) for _, _, benchmark, config, _ in pending]
-        results = self._execute(tasks)
-        for (memo, memo_key, _, _, cache_key), result in zip(pending, results):
-            self.stats.simulated += 1
-            memo[memo_key] = result
+        try:
+            results = self._execute(tasks)
+            for (memo, memo_key, _, _, cache_key), result in zip(pending, results):
+                self.stats.simulated += 1
+                memo[memo_key] = result
+                if self.cache is not None:
+                    self.cache.store(cache_key, result)
+        finally:
             if self.cache is not None:
-                self.cache.store(cache_key, result)
+                for _, _, _, _, cache_key in pending:
+                    self.cache.release_claim(cache_key)
 
     def _execute(self, tasks: List[Tuple[str, CPUConfig]]) -> List[SimulationResult]:
         """Run simulations, fanning out across processes when worthwhile.
@@ -370,9 +557,11 @@ class ExperimentContext:
         to a clean run; :class:`ContextStats` records what happened.
         """
         start = time.perf_counter()
+        self.stats.begin_batch()
         try:
             return self._execute_batch(tasks)
         finally:
+            self.stats.end_batch()
             self.stats.add_stage("simulate", time.perf_counter() - start)
 
     def _run_serial(self, benchmark: str, config: CPUConfig) -> SimulationResult:
@@ -385,6 +574,26 @@ class ExperimentContext:
             return ProcessPoolExecutor(max_workers=workers)
         except (ImportError, NotImplementedError, OSError):
             return None  # restricted platforms: caller falls back to serial
+
+    @staticmethod
+    def _abandon_pool(pool, kill: bool = False) -> None:
+        """Walk away from a broken or hung pool without blocking on it.
+
+        ``kill`` additionally SIGTERMs the worker processes — a hung
+        worker never exits on its own, and ``shutdown(wait=False)``
+        would leak it for the lifetime of the campaign.
+        """
+        processes = list((getattr(pool, "_processes", None) or {}).values())
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+        if kill:
+            for process in processes:
+                try:
+                    process.terminate()
+                except Exception:
+                    pass
 
     def _serial_remainder(self, tasks, results, indices, reason: str):
         """Finish ``indices`` serially after the pool path was abandoned."""
@@ -409,9 +618,11 @@ class ExperimentContext:
             self.stats.record_event("pool_unavailable", tasks=len(tasks))
             return [self._run_serial(benchmark, config) for benchmark, config in tasks]
 
+        from concurrent.futures import wait as wait_futures
         from concurrent.futures.process import BrokenProcessPool
 
         settings = self.settings
+        timeout = self.task_timeout_s
         results: List[Optional[SimulationResult]] = [None] * len(tasks)
         attempts = [0] * len(tasks)
         pending = list(range(len(tasks)))
@@ -419,7 +630,9 @@ class ExperimentContext:
         try:
             while pending:
                 futures = {}
+                deadlines = {}
                 pool_broken = False
+                pool_hung = False
                 failed: List[int] = []
                 for index in pending:
                     benchmark, config = tasks[index]
@@ -435,39 +648,79 @@ class ExperimentContext:
                         failed.append(index)
                         continue
                     futures[future] = index
+                    if timeout is not None:
+                        deadlines[future] = time.monotonic() + timeout
                 self.stats.tasks_run += len(futures)
-                for future, index in futures.items():
-                    try:
-                        results[index] = future.result()
-                    except BrokenProcessPool:
-                        pool_broken = True
-                        failed.append(index)
-                    except Exception as exc:  # in-task failure, pool alive
+
+                not_done = set(futures)
+                while not_done:
+                    if timeout is None:
+                        done, not_done = wait_futures(not_done)
+                    else:
+                        horizon = min(deadlines[f] for f in not_done)
+                        done, not_done = wait_futures(
+                            not_done,
+                            timeout=max(0.0, horizon - time.monotonic()),
+                        )
+                    for future in done:
+                        index = futures[future]
+                        try:
+                            results[index] = future.result()
+                        except BrokenProcessPool:
+                            pool_broken = True
+                            failed.append(index)
+                        except Exception as exc:  # in-task failure, pool alive
+                            attempts[index] += 1
+                            failed.append(index)
+                            self.stats.record_event(
+                                "task_error",
+                                benchmark=tasks[index][0],
+                                config=tasks[index][1].name,
+                                attempt=attempts[index],
+                                error=repr(exc),
+                            )
+                    if timeout is None:
+                        continue
+                    # Deadline sweep: any task past its deadline re-enters
+                    # the retry ladder now.  One that cancels cleanly was
+                    # only queued behind a stalled pool; one that does not
+                    # is running on a hung worker, and the whole pool gets
+                    # recycled once everything still live has drained.
+                    now = time.monotonic()
+                    for future in [f for f in not_done if deadlines[f] <= now]:
+                        index = futures[future]
+                        not_done.discard(future)
                         attempts[index] += 1
                         failed.append(index)
+                        self.stats.task_timeouts += 1
+                        was_running = not future.cancel()
+                        if was_running:
+                            pool_hung = True
                         self.stats.record_event(
-                            "task_error",
+                            "task_timeout",
                             benchmark=tasks[index][0],
                             config=tasks[index][1].name,
                             attempt=attempts[index],
-                            error=repr(exc),
+                            timeout_s=timeout,
+                            running=was_running,
                         )
                 if not failed:
                     break
 
-                if pool_broken:
-                    pool.shutdown(wait=False)
+                if pool_broken or pool_hung:
+                    reason = "hung" if pool_hung else "broke"
+                    self._abandon_pool(pool, kill=pool_hung)
                     pool = None
                     if restarts >= self.max_pool_restarts:
                         self._serial_remainder(
                             tasks, results, failed,
-                            f"broke {restarts + 1} times",
+                            f"{reason} {restarts + 1} times",
                         )
                         break
                     restarts += 1
                     self.stats.pool_restarts += 1
                     self.stats.record_event("pool_restart", restart=restarts,
-                                            tasks=len(failed))
+                                            reason=reason, tasks=len(failed))
                     time.sleep(min(MAX_BACKOFF_S,
                                    self.retry_backoff_s * 2 ** (restarts - 1)))
                     pool = self._new_pool(workers)
@@ -475,30 +728,43 @@ class ExperimentContext:
                         self._serial_remainder(tasks, results, failed,
                                                "could not be recreated")
                         break
-                    pending = failed
+                    pending = self._filter_retryable(tasks, results, attempts,
+                                                     failed)
                     continue
 
                 # Pool is healthy: retry transient in-task failures on it,
                 # run repeat offenders serially (a genuine, deterministic
                 # error will surface from the serial run).
-                pending = []
-                for index in failed:
-                    if attempts[index] < self.max_task_attempts:
-                        pending.append(index)
-                        self.stats.task_retries += 1
-                    else:
-                        self.stats.record_event(
-                            "serial_fallback",
-                            benchmark=tasks[index][0],
-                            config=tasks[index][1].name,
-                            attempts=attempts[index],
-                        )
-                        results[index] = self._run_serial(*tasks[index])
-                        self.stats.serial_fallbacks += 1
+                retryable = self._filter_retryable(tasks, results, attempts,
+                                                   failed)
+                self.stats.task_retries += len(retryable)
+                pending = retryable
         finally:
             if pool is not None:
                 pool.shutdown()
         return results
+
+    def _filter_retryable(self, tasks, results, attempts, failed) -> List[int]:
+        """Split failed indices into pool retries vs immediate serial runs.
+
+        Tasks that exhausted their attempt budget (repeat raisers, repeat
+        deadline overruns) run serially right here; the rest go back to
+        the pool.
+        """
+        retryable: List[int] = []
+        for index in failed:
+            if attempts[index] < self.max_task_attempts:
+                retryable.append(index)
+            else:
+                self.stats.record_event(
+                    "serial_fallback",
+                    benchmark=tasks[index][0],
+                    config=tasks[index][1].name,
+                    attempts=attempts[index],
+                )
+                results[index] = self._run_serial(*tasks[index])
+                self.stats.serial_fallbacks += 1
+        return retryable
 
     # ------------------------------------------------------------------ #
 
@@ -643,7 +909,7 @@ class ExperimentContext:
             pending.append((position, key))
         if pending:
             start = time.perf_counter()
-            solved = solver.solve_many([batches[pos] for pos, _ in pending])
+            solved = self._solve_batches(solver, [batches[pos] for pos, _ in pending])
             self.stats.add_stage("thermal", time.perf_counter() - start)
             for (position, key), result in zip(pending, solved):
                 self.stats.thermal_solved += 1
@@ -651,3 +917,59 @@ class ExperimentContext:
                 if self.cache is not None:
                     self.cache.store(key, result)
         return results
+
+    def _solve_batches(
+        self, solver: ThermalSolver, grids: List[Sequence]
+    ) -> List[ThermalResult]:
+        """Solve in-process, or — above the ``REPRO_THERMAL_SUBPROC_CELLS``
+        unknown-count threshold — in a supervised subprocess."""
+        threshold = self.thermal_subproc_cells
+        cells = len(solver.stack.layers) * solver.ny * solver.nx
+        if threshold is None or cells < threshold:
+            return solver.solve_many(grids)
+        return self._solve_supervised(solver, grids)
+
+    def _solve_supervised(
+        self, solver: ThermalSolver, grids: List[Sequence]
+    ) -> List[ThermalResult]:
+        """One batched solve in a single-use, deadline-supervised subprocess.
+
+        SuperLU on a huge grid can OOM-abort the interpreter; isolating
+        the factorization the way simulation workers already are means a
+        crash or hang costs one timeout and an in-process fallback, not
+        the campaign.  Solves are deterministic, so both paths produce
+        bit-identical results.
+        """
+        from repro.experiments.supervised import solve_batches_task
+
+        pool = self._new_pool(1)
+        if pool is None:
+            self.stats.thermal_subproc_fallbacks += 1
+            self.stats.record_event("thermal_subproc_unavailable",
+                                    batches=len(grids))
+            return solver.solve_many(grids)
+        try:
+            future = pool.submit(
+                solve_batches_task, solver.stack, solver.floorplan,
+                solver.nx, solver.ny, solver.spreader_mm, grids,
+            )
+            solved = future.result(timeout=self.thermal_timeout_s)
+        except Exception as exc:  # timeout, worker death, unpicklable input
+            self._abandon_pool(pool, kill=True)
+            pool = None
+            self.stats.thermal_subproc_fallbacks += 1
+            self.stats.record_event("thermal_subproc_fallback",
+                                    error=repr(exc), batches=len(grids))
+            warnings.warn(
+                f"supervised thermal solve failed ({exc!r}); "
+                f"solving {len(grids)} batch(es) in-process",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+            return solver.solve_many(grids)
+        else:
+            self.stats.thermal_subproc_solves += 1
+            return solved
+        finally:
+            if pool is not None:
+                pool.shutdown()

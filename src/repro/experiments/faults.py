@@ -9,6 +9,17 @@ the faults actually happen, so this module makes them happen on demand:
   atomically claims a token and dies (``os._exit``, like an OOM kill) or
   raises (an in-task software fault).  Tokens are consumed exactly once,
   so retries on a fresh pool succeed and the batch converges.
+* **worker hangs** — :func:`arm_worker_hangs` tokens make the claiming
+  worker sleep forever (a deadlock/livelock stand-in), exercising the
+  per-task deadline supervision (``REPRO_TASK_TIMEOUT_S``): without it
+  the batch blocks on ``future.result()`` indefinitely.
+* **mid-simulation faults** — :func:`arm_midsim_faults` tokens carry an
+  instruction-index trigger; the claiming worker arms
+  :data:`repro.cpu.pipeline.FAULT_HOOK` and then dies (or hangs) *in the
+  middle of the simulation loop*, with activity counters and cache state
+  partially written.  This makes the injection point adversarial: entry
+  injection tests a cooperative crash boundary, mid-simulation injection
+  proves no partial state ever leaks into a recovered result.
 * **cache corruption** — :func:`corrupt_entry` overwrites or truncates a
   cache file in place, exercising the loader's delete-and-miss path.
 * **filesystem faults** — :func:`full_disk` and
@@ -27,6 +38,8 @@ import contextlib
 import errno
 import gzip
 import os
+import re
+import time
 from pathlib import Path
 from typing import Iterator, List, Optional
 
@@ -38,7 +51,12 @@ KILL_EXIT_CODE = 87
 
 _KILL_PREFIX = "kill-"
 _RAISE_PREFIX = "raise-"
+_HANG_PREFIX = "hang-"
+_MIDSIM_PREFIX = "midsim-"
 _TOKEN_SUFFIX = ".token"
+
+#: midsim token names: ``midsim-<action>-<instruction-index>-NNNN.token``
+_MIDSIM_PATTERN = re.compile(rf"{_MIDSIM_PREFIX}(kill|hang)-(\d+)-")
 
 
 class InjectedWorkerError(RuntimeError):
@@ -57,6 +75,29 @@ def arm_worker_kills(directory, kills: int = 1) -> List[Path]:
 def arm_worker_raises(directory, raises: int = 1) -> List[Path]:
     """Like :func:`arm_worker_kills` but the worker raises instead of dying."""
     return _arm(directory, _RAISE_PREFIX, raises)
+
+
+def arm_worker_hangs(directory, hangs: int = 1) -> List[Path]:
+    """Create ``hangs`` sleep-forever tokens; the claiming worker never
+    returns (deadlock stand-in), so only deadline supervision saves the
+    batch.  The hung process is reaped when the supervisor recycles the
+    pool (SIGTERM), so tokens do not leak workers."""
+    return _arm(directory, _HANG_PREFIX, hangs)
+
+
+def arm_midsim_faults(
+    directory, count: int = 1, action: str = "kill", at_instruction: int = 1_000
+) -> List[Path]:
+    """Create tokens that fire *inside* the simulation loop.
+
+    The claiming worker arms :data:`repro.cpu.pipeline.FAULT_HOOK` at
+    task entry and then executes normally until the trace reaches
+    ``at_instruction``, where it dies (``action="kill"``) or sleeps
+    forever (``action="hang"``) with partially-written activity state.
+    """
+    if action not in ("kill", "hang"):
+        raise ValueError(f"unknown midsim action {action!r}")
+    return _arm(directory, f"{_MIDSIM_PREFIX}{action}-{at_instruction:d}-", count)
 
 
 def _arm(directory, prefix: str, count: int) -> List[Path]:
@@ -79,18 +120,43 @@ def pending_tokens(directory) -> List[Path]:
     return sorted(root.glob(f"*{_TOKEN_SUFFIX}"))
 
 
-def _claim_token(prefix: str) -> bool:
-    """Atomically claim (unlink) one token; False when none are left."""
+def _claim_token(prefix: str) -> Optional[str]:
+    """Atomically claim (unlink) one token; its name, or None when none left."""
     root = os.environ.get(ENV_FAULT_DIR, "").strip()
     if not root:
-        return False
+        return None
     for token in sorted(Path(root).glob(f"{prefix}*{_TOKEN_SUFFIX}")):
         try:
             token.unlink()  # atomic: exactly one process wins each token
         except OSError:
             continue
-        return True
-    return False
+        return token.name
+    return None
+
+
+def _hang_forever() -> None:
+    """Sleep until killed — what a deadlocked worker looks like from outside."""
+    while True:
+        time.sleep(3600)
+
+
+def _arm_midsim(token_name: str) -> None:
+    """Install the mid-simulation fault hook encoded in a claimed token."""
+    match = _MIDSIM_PATTERN.match(token_name)
+    if match is None:
+        return
+    action, trigger = match.group(1), int(match.group(2))
+    from repro.cpu import pipeline
+
+    def hook(index: int) -> None:
+        if index < trigger:
+            return
+        if action == "kill":
+            os._exit(KILL_EXIT_CODE)
+        pipeline.FAULT_HOOK = None  # fire once even if the sleep is interrupted
+        _hang_forever()
+
+    pipeline.FAULT_HOOK = hook
 
 
 def maybe_inject_worker_fault() -> None:
@@ -98,11 +164,18 @@ def maybe_inject_worker_fault() -> None:
 
     Called at worker-task entry.  Claiming a kill token terminates the
     process without cleanup (``os._exit``), which is what an OOM kill or
-    interpreter abort looks like to the pool; a raise token throws
-    :class:`InjectedWorkerError` through the task instead.
+    interpreter abort looks like to the pool; a hang token never returns
+    (deadlock); a midsim token arms the in-loop hook instead of firing
+    here; a raise token throws :class:`InjectedWorkerError` through the
+    task.
     """
     if _claim_token(_KILL_PREFIX):
         os._exit(KILL_EXIT_CODE)
+    if _claim_token(_HANG_PREFIX):
+        _hang_forever()
+    midsim = _claim_token(_MIDSIM_PREFIX)
+    if midsim is not None:
+        _arm_midsim(midsim)
     if _claim_token(_RAISE_PREFIX):
         raise InjectedWorkerError("injected worker fault (raise token claimed)")
 
@@ -212,7 +285,8 @@ def _failing_writes(root, errno_code: int, fail_mkdir: bool) -> Iterator[None]:
 # ---------------------------------------------------------------------- #
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """``python -m repro.experiments.faults DIR [--kills N] [--raises N]``"""
+    """``python -m repro.experiments.faults DIR [--kills N] [--raises N]
+    [--hangs N] [--midsim-kills N] [--midsim-hangs N] [--at-instruction I]``"""
     import argparse
 
     parser = argparse.ArgumentParser(
@@ -221,12 +295,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("directory", help="token directory (REPRO_FAULT_DIR)")
     parser.add_argument("--kills", type=int, default=0, metavar="N",
-                        help="worker kill tokens to arm (os._exit)")
+                        help="worker kill tokens to arm (os._exit at task entry)")
     parser.add_argument("--raises", type=int, default=0, metavar="N",
                         help="worker raise tokens to arm (exception)")
+    parser.add_argument("--hangs", type=int, default=0, metavar="N",
+                        help="sleep-forever tokens to arm (deadlock stand-in)")
+    parser.add_argument("--midsim-kills", type=int, default=0, metavar="N",
+                        help="mid-simulation kill tokens to arm")
+    parser.add_argument("--midsim-hangs", type=int, default=0, metavar="N",
+                        help="mid-simulation hang tokens to arm")
+    parser.add_argument("--at-instruction", type=int, default=1_000, metavar="I",
+                        help="trigger instruction index for midsim tokens "
+                             "(default: 1000)")
     args = parser.parse_args(argv)
     tokens = arm_worker_kills(args.directory, args.kills) if args.kills else []
     tokens += arm_worker_raises(args.directory, args.raises) if args.raises else []
+    tokens += arm_worker_hangs(args.directory, args.hangs) if args.hangs else []
+    if args.midsim_kills:
+        tokens += arm_midsim_faults(args.directory, args.midsim_kills,
+                                    "kill", args.at_instruction)
+    if args.midsim_hangs:
+        tokens += arm_midsim_faults(args.directory, args.midsim_hangs,
+                                    "hang", args.at_instruction)
     print(f"armed {len(tokens)} fault tokens in {args.directory} "
           f"(export {ENV_FAULT_DIR}={args.directory})")
     return 0

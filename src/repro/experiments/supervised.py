@@ -1,0 +1,43 @@
+"""Supervised subprocess execution for large thermal solves.
+
+SuperLU factorizations grow superlinearly with the grid: a huge sweep
+configuration can exhaust memory and abort the interpreter, and unlike
+simulation tasks the thermal solve historically ran *in the parent
+process*, so one oversized factorization took the whole campaign down.
+
+:meth:`repro.experiments.context.ExperimentContext.solve_thermal` routes
+solve batches whose system exceeds ``REPRO_THERMAL_SUBPROC_CELLS``
+unknowns through :func:`solve_batches_task` in a single-use worker
+process, supervised with a timeout; a crash, OOM kill, or hang in the
+subprocess costs one timeout and an in-process fallback solve instead of
+the parent.  Solves are deterministic, so the subprocess result is
+bit-identical to the in-process one.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.thermal.solver import ThermalResult, ThermalSolver
+
+
+def solve_batches_task(
+    stack,
+    floorplan,
+    nx: int,
+    ny: int,
+    spreader_mm: float,
+    batches: Sequence[Sequence],
+) -> List[ThermalResult]:
+    """Worker entry point: rebuild the solver and run the batched solve.
+
+    The solver is reconstructed from its constructor arguments (geometry
+    is pure data) rather than pickled, because a built solver holds an
+    unpicklable SuperLU handle.  The fault point mirrors the simulation
+    workers' — no-op unless a token directory is armed.
+    """
+    from repro.experiments.faults import maybe_inject_worker_fault
+
+    maybe_inject_worker_fault()
+    solver = ThermalSolver(stack, floorplan, nx, ny, spreader_mm)
+    return solver.solve_many(batches)

@@ -148,6 +148,9 @@ class ThermalSolver:
         self.floorplan = floorplan
         self.nx = nx
         self.ny = ny
+        #: the constructor argument, kept so an identical solver can be
+        #: rebuilt elsewhere (the supervised-subprocess thermal path)
+        self.spreader_mm = spreader_mm
         self.spreader_w_mm = max(spreader_mm, floorplan.width_mm)
         self.spreader_h_mm = max(spreader_mm, floorplan.height_mm)
         #: chip offset within the spreader footprint (centred), mm

@@ -1,0 +1,304 @@
+"""Cross-process cache coordination and the size high-water mark.
+
+Claim files must guarantee "N concurrent cold starts, one simulation"
+without ever blocking progress: a dead or wedged claim holder is taken
+over, a slow one is waited for (bounded), and losing a claim race only
+ever means *waiting* for the winner's bytes, never recomputing them.
+The ``REPRO_CACHE_MAX_MB`` cap must hold after every store while never
+evicting the entry a concurrent reader just touched.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.cache import (
+    CLAIM_SUFFIX,
+    ENV_CACHE_DIR,
+    ENV_CACHE_MAX_MB,
+    ResultCache,
+)
+from repro.experiments.context import ExperimentContext, ExperimentSettings
+
+TINY = ExperimentSettings(
+    trace_length=2_000,
+    warmup=500,
+    benchmarks=("adpcm", "susan"),
+    thermal_grid=32,
+)
+
+KEY = hashlib.sha256(b"coordination-test").hexdigest()
+
+
+def _reap() -> int:
+    """A pid that was real a moment ago and is certainly dead now."""
+    proc = subprocess.Popen([sys.executable, "-c", "pass"])
+    proc.wait()
+    return proc.pid
+
+
+def _plant_claim(cache: ResultCache, key: str, pid: int, ts: float) -> None:
+    path = cache._claim_path(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps({"pid": pid, "ts": ts}), encoding="utf-8")
+
+
+class TestClaimProtocol:
+    def test_exactly_one_winner(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.try_claim(KEY) is True
+        assert cache.try_claim(KEY) is False  # already held
+        cache.release_claim(KEY)
+        assert cache.try_claim(KEY) is True  # reclaimable after release
+
+    def test_claim_carries_pid_and_timestamp(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        before = time.time()
+        cache.try_claim(KEY)
+        holder = cache.claim_holder(KEY)
+        assert holder["pid"] == os.getpid()
+        assert before - 1 <= holder["ts"] <= time.time() + 1
+
+    def test_release_never_deletes_a_peers_claim(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        _plant_claim(cache, KEY, pid=1, ts=time.time())  # init: alive, not ours
+        cache.release_claim(KEY)
+        assert cache.claim_holder(KEY) is not None
+
+    def test_staleness(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        _plant_claim(cache, KEY, pid=_reap(), ts=time.time())
+        assert cache.claim_stale(KEY)  # dead holder: stale regardless of age
+        _plant_claim(cache, KEY, pid=os.getpid(), ts=time.time())
+        assert not cache.claim_stale(KEY)  # alive and fresh
+        _plant_claim(cache, KEY, pid=os.getpid(), ts=time.time() - 10_000)
+        assert cache.claim_stale(KEY, max_age_s=3600)  # alive but wedged
+        assert not cache.claim_stale("0" * 64)  # unclaimed is not stale
+
+    def test_garbled_claim_is_reclaimable(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache._claim_path(KEY)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("not json", encoding="utf-8")
+        assert cache.claim_holder(KEY) == {}
+        cache.release_claim(KEY)  # garbled claims may be cleaned by anyone
+        assert cache.claim_holder(KEY) is None
+
+    def test_sweep_claims(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        _plant_claim(cache, KEY, pid=_reap(), ts=time.time())
+        live = hashlib.sha256(b"live").hexdigest()
+        _plant_claim(cache, live, pid=os.getpid(), ts=time.time())
+        assert cache.sweep_claims() == 1
+        assert cache.claim_holder(KEY) is None
+        assert cache.claim_holder(live) is not None
+
+
+class TestClaimCoordination:
+    def test_waiter_adopts_peer_result(self, tmp_path):
+        """The claim loser waits and simulates nothing — one simulation total."""
+        produced = ExperimentContext(TINY, jobs=1, cache=None).run("adpcm", "Base")
+        shared = ResultCache(tmp_path)
+        context = ExperimentContext(TINY, jobs=1, cache=ResultCache(tmp_path))
+        context.claim_poll_s = 0.01
+        key = context._cache_key("adpcm", context._config_for("Base"))
+        assert shared.try_claim(key)  # a "peer process" wins the claim
+
+        def peer_finishes():
+            time.sleep(0.4)
+            shared.store(key, produced)
+            shared.release_claim(key)
+
+        thread = threading.Thread(target=peer_finishes)
+        thread.start()
+        try:
+            result = context.run("adpcm", "Base")
+        finally:
+            thread.join()
+        assert context.stats.simulated == 0
+        assert context.stats.claim_waits == 1
+        assert context.stats.claim_dedup == 1
+        assert result.cycles == produced.cycles
+
+    def test_dead_holder_is_taken_over(self, tmp_path):
+        context = ExperimentContext(TINY, jobs=1, cache=ResultCache(tmp_path))
+        context.claim_poll_s = 0.01
+        key = context._cache_key("adpcm", context._config_for("Base"))
+        _plant_claim(context.cache, key, pid=_reap(), ts=time.time())
+        context.run("adpcm", "Base")
+        assert context.stats.simulated == 1
+        assert context.stats.claim_takeovers == 1
+        assert context.cache.claim_holder(key) is None  # released after store
+        takeovers = [e for e in context.stats.events
+                     if e["event"] == "claim_takeover"]
+        assert takeovers[0]["reason"] == "stale"
+
+    def test_expired_wait_simulates_anyway(self, tmp_path):
+        """A live-but-slow holder delays the loser, never starves it."""
+        context = ExperimentContext(TINY, jobs=1, cache=ResultCache(tmp_path))
+        context.claim_poll_s = 0.01
+        context.claim_wait_s = 0.2
+        context.claim_stale_s = 10_000.0
+        key = context._cache_key("adpcm", context._config_for("Base"))
+        _plant_claim(context.cache, key, pid=1, ts=time.time())  # init: alive
+        start = time.monotonic()
+        context.run("adpcm", "Base")
+        assert time.monotonic() - start >= 0.2
+        assert context.stats.simulated == 1
+        takeovers = [e for e in context.stats.events
+                     if e["event"] == "claim_takeover"]
+        assert takeovers[0]["reason"] == "wait_expired"
+        # The live peer's claim is not ours to delete.
+        assert context.cache.claim_holder(key) is not None
+
+    def test_two_processes_one_simulation(self, tmp_path):
+        """The acceptance scenario: concurrent cold starts, one simulation."""
+        script = tmp_path / "cold_start.py"
+        script.write_text(
+            "import json, sys\n"
+            "from repro.experiments.cache import ResultCache\n"
+            "from repro.experiments.context import (\n"
+            "    ExperimentContext, ExperimentSettings)\n"
+            "settings = ExperimentSettings(trace_length=2_000, warmup=500,\n"
+            "                              benchmarks=('adpcm',),\n"
+            "                              thermal_grid=32)\n"
+            "context = ExperimentContext(settings, jobs=1,\n"
+            "                            cache=ResultCache(sys.argv[1]))\n"
+            "context.claim_poll_s = 0.01\n"
+            "context.run('adpcm', 'Base')\n"
+            "with open(sys.argv[2], 'w') as stream:\n"
+            "    json.dump(context.stats.as_dict(), stream)\n",
+            encoding="utf-8",
+        )
+        env = dict(os.environ)
+        repo_src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = repo_src + os.pathsep + env.get("PYTHONPATH", "")
+        cache_dir = tmp_path / "shared-cache"
+        procs = []
+        for index in range(2):
+            stats_file = tmp_path / f"stats-{index}.json"
+            procs.append((stats_file, subprocess.Popen(
+                [sys.executable, str(script), str(cache_dir), str(stats_file)],
+                env=env,
+            )))
+        stats = []
+        for stats_file, proc in procs:
+            assert proc.wait(timeout=180) == 0
+            stats.append(json.loads(stats_file.read_text()))
+        assert sum(s["simulated"] for s in stats) == 1
+        served_from_peer = sum(
+            s["claim_dedup"] + s["sim_disk_hits"] for s in stats
+        )
+        assert served_from_peer >= 1
+        assert ResultCache(cache_dir).claims() == []  # nothing left behind
+
+
+def _filler(cache: ResultCache, name: str, size: int = 4096) -> str:
+    """Store an incompressible payload and return its key."""
+    key = hashlib.sha256(name.encode("utf-8")).hexdigest()
+    cache.store(key, os.urandom(size))
+    return key
+
+
+class TestSizeCap:
+    def test_cap_holds_after_every_store(self, tmp_path):
+        cache = ResultCache(tmp_path, max_mb=16 / 1024)  # 16 KiB
+        for index in range(12):
+            _filler(cache, f"entry-{index}")
+            assert cache.size_bytes() <= cache.max_bytes
+        assert cache.evictions_size > 0
+        assert len(cache.entries()) >= 1
+
+    def test_oldest_mtime_goes_first(self, tmp_path):
+        cache = ResultCache(tmp_path, max_mb=10 / 1024)
+        old = _filler(cache, "old")
+        new = _filler(cache, "new")
+        os.utime(cache._path(old), (time.time() - 100, time.time() - 100))
+        _filler(cache, "trigger")  # pushes the cache over 10 KiB
+        assert not cache._path(old).exists()
+        assert cache._path(new).exists()
+
+    def test_load_touch_protects_the_entry_being_read(self, tmp_path):
+        """An entry a reader just touched is the freshest, never the victim."""
+        cache = ResultCache(tmp_path, max_mb=10 / 1024)
+        hot = _filler(cache, "hot")
+        cold = _filler(cache, "cold")
+        past = time.time() - 100
+        os.utime(cache._path(hot), (past, past))
+        os.utime(cache._path(cold), (past + 1, past + 1))
+        assert cache.load(hot, expected_type=bytes) is not None  # touches it
+        _filler(cache, "trigger")
+        assert cache._path(hot).exists()  # read-touch saved it...
+        assert not cache._path(cold).exists()  # ...so its neighbour went
+
+    def test_just_stored_entry_is_protected(self, tmp_path):
+        cache = ResultCache(tmp_path, max_mb=2 / 1024)  # smaller than one entry
+        key = _filler(cache, "solo", size=4096)
+        assert cache._path(key).exists()
+
+    def test_unbounded_without_cap(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.max_bytes is None
+        for index in range(8):
+            _filler(cache, f"entry-{index}")
+        assert len(cache.entries()) == 8
+        assert cache.evictions_size == 0
+
+    def test_cap_from_environment(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_CACHE_MAX_MB, "1.5")
+        assert ResultCache(tmp_path).max_bytes == int(1.5 * 1024 * 1024)
+        monkeypatch.setenv(ENV_CACHE_MAX_MB, "0")
+        assert ResultCache(tmp_path).max_bytes is None
+        monkeypatch.delenv(ENV_CACHE_MAX_MB)
+        assert ResultCache(tmp_path).max_bytes is None
+
+    def test_invalid_cap_env_warns(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_CACHE_MAX_MB, "lots")
+        with pytest.warns(RuntimeWarning, match="lots"):
+            cache = ResultCache(tmp_path)
+        assert cache.max_bytes is None
+
+    def test_explicit_cap_beats_environment(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_CACHE_MAX_MB, "100")
+        assert ResultCache(tmp_path, max_mb=1).max_bytes == 1024 * 1024
+
+
+class TestPrune:
+    def test_prune_sweeps_everything(self, tmp_path):
+        cache = ResultCache(tmp_path, max_mb=8 / 1024)
+        cache.max_bytes = None  # fill past the cap without store-time eviction
+        for index in range(4):
+            _filler(cache, f"entry-{index}")
+        cache.max_bytes = 8 * 1024
+        _plant_claim(cache, KEY, pid=_reap(), ts=time.time())
+        (cache.version_dir / "ab").mkdir(parents=True, exist_ok=True)
+        tmp_file = cache.version_dir / "ab" / "x.pkl.gz.99999.tmp"
+        tmp_file.write_bytes(b"scratch")
+        os.utime(tmp_file, (time.time() - 7200, time.time() - 7200))
+        report = cache.prune()
+        assert report["evicted"] >= 1
+        assert report["claims"] == 1
+        assert report["tmp_files"] == 1
+        assert report["size_bytes"] <= cache.max_bytes
+
+    def test_cache_prune_cli(self, tmp_path, monkeypatch, capsys):
+        from repro.cli import main
+
+        monkeypatch.setenv(ENV_CACHE_DIR, str(tmp_path))
+        cache = ResultCache(tmp_path)
+        _filler(cache, "entry")
+        _plant_claim(cache, KEY, pid=_reap(), ts=time.time())
+        assert main(["cache", "prune"]) == 0
+        out = capsys.readouterr().out
+        assert "1 abandoned claim(s)" in out
+        assert "cache size now" in out
+        assert ResultCache(tmp_path).claims() == []
