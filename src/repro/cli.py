@@ -173,9 +173,24 @@ def _cmd_report(args) -> int:
     import time
 
     context = _context(args)
+    profiler = None
+    if getattr(args, "profile", None):
+        import cProfile
+
+        profiler = cProfile.Profile()
     start = time.perf_counter()
+    if profiler is not None:
+        profiler.enable()
     text = generate_report(context)
+    if profiler is not None:
+        profiler.disable()
     wall_s = time.perf_counter() - start
+    if profiler is not None:
+        # Stats go to stderr so a report printed to stdout stays clean.
+        import pstats
+
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(args.profile)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as stream:
             stream.write(text)
@@ -304,6 +319,11 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--log-json", metavar="FILE", dest="log_json",
                         help="write per-event robustness telemetry (retries, "
                              "pool restarts, serial fallbacks) as JSON lines")
+    report.add_argument("--profile", nargs="?", const=30, default=None,
+                        type=int, metavar="N",
+                        help="run report generation under cProfile and print "
+                             "the top N cumulative-time entries to stderr "
+                             "(default 30)")
 
     cache = add("cache", _cmd_cache, "inspect or clear the on-disk result cache",
                 fast=False)

@@ -24,9 +24,12 @@ dispatch and charge the *group* at most one stall cycle (Section 3.1).
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Dict, List, Optional
+import os
+from bisect import bisect_right, insort
+from collections import deque
+from typing import Callable, Dict, List, Optional, Union
 
-from repro.core.activity import ActivityCounters, NUM_DIES
+from repro.core.activity import ActivityCounters, BatchedActivityCounters, NUM_DIES
 from repro.core.alu import PartitionedALU
 from repro.core.bypass import BypassNetwork
 from repro.core.dcache_encoding import PartialValueCache
@@ -37,7 +40,9 @@ from repro.core.width_prediction import WidthPredictor
 from repro.cpu.branch_predictor import FrontEndPredictor
 from repro.cpu.caches import build_hierarchy
 from repro.cpu.config import CPUConfig
+from repro.cpu.predecode import PreDecodedTrace, predecode, RETURN_CODE
 from repro.cpu.results import SimulationResult, StallBreakdown
+from repro.isa.compiled import CompiledTrace
 from repro.isa.instruction import TraceInstruction
 from repro.isa.opcodes import OpClass, OP_LATENCY
 from repro.isa.trace import Trace
@@ -45,7 +50,20 @@ from repro.isa.values import is_low_width
 
 #: Timing-model version, part of the on-disk result-cache key.  Bump on
 #: any change that alters simulation outcomes so stale entries never hit.
+#: The columnar path (run_compiled) is byte-identical to the reference
+#: loop by construction and test, so it shares this version.
 SIMULATOR_VERSION = 1
+
+#: Set to ``0``/``off`` to force the reference object-path loop instead
+#: of the columnar pre-decoded loop (used by CI to prove byte-identity).
+ENV_COLUMNAR = "REPRO_COLUMNAR"
+
+
+def columnar_enabled() -> bool:
+    """Whether :func:`simulate` uses the columnar fast path (default on)."""
+    return os.environ.get(ENV_COLUMNAR, "1").strip().lower() not in (
+        "0", "off", "no", "false"
+    )
 
 #: Fault-injection hook: when set, called with each instruction index at
 #: the top of the simulation loop.  Armed inside worker processes by the
@@ -78,9 +96,12 @@ class _Pool:
 class TimingSimulator:
     """Replays one trace under one configuration."""
 
-    def __init__(self, config: CPUConfig):
+    def __init__(self, config: CPUConfig, batched: bool = False):
         self.config = config.resolved()
-        self.counters = ActivityCounters()
+        # The columnar loop (run_compiled) uses batched activity counters
+        # and repackages them as plain counters in the result; the
+        # reference loop records eagerly.
+        self.counters = BatchedActivityCounters() if batched else ActivityCounters()
         self.hierarchy = build_hierarchy(self.counters, self.config)
         self.frontend = FrontEndPredictor(
             self.counters,
@@ -635,6 +656,556 @@ class TimingSimulator:
 
     # ------------------------------------------------------------------ #
 
+    def run_compiled(self, pre: PreDecodedTrace, warmup: int = 0,
+                     prewarm: bool = True) -> SimulationResult:
+        """The columnar twin of :meth:`run`.
+
+        Consumes the pre-decoded columns of a compiled trace instead of
+        instruction objects.  Every stage performs the same state updates
+        in the same order as :meth:`run` — activity recording sequence,
+        cache/LRU evolution, predictor training, dict insertion orders —
+        so the returned :class:`SimulationResult` pickles to the same
+        bytes (the equivalence tests enforce this).  The differences are
+        purely mechanical: loop-invariant per-instruction work comes from
+        the precomputed columns, the ROB/LQ/SQ free-at heaps become
+        deques (their pushes are non-decreasing, so popleft == heappop),
+        the RS free-at multiset becomes a bisect-sorted list (its
+        occupancy scans become binary searches), stall counters live in
+        locals, and activity accumulates through the batched counters.
+        """
+        cfg = self.config
+        counters = self.counters
+        n = pre.n
+        if warmup >= n:
+            raise ValueError(
+                f"warmup ({warmup}) must be smaller than the trace ({n})"
+            )
+        if prewarm:
+            l2 = self.hierarchy.l2
+            l2_install = l2.install_line
+            for line in pre.prewarm_lines(l2.line_bytes):
+                l2_install(line)
+        th = cfg.thermal_herding
+        if th:
+            from repro.core.static_width import StaticWidthPredictor
+            if isinstance(self.width_predictor, StaticWidthPredictor):
+                self.width_predictor = StaticWidthPredictor(pre.width_profile())
+
+        # Column locals (loop-invariant per-instruction facts).
+        pcs = pre.pcs
+        ops = pre.ops
+        codes = pre.codes
+        fetch_lines = pre.fetch_lines
+        col_is_control = pre.is_control
+        col_is_memory = pre.is_memory
+        col_is_intdp = pre.is_intdp
+        col_is_fp = pre.is_fp
+        col_is_load = pre.is_load
+        col_is_store = pre.is_store
+        col_srcs = pre.srcs
+        col_svals = pre.svals
+        col_dsts = pre.dsts
+        col_results = pre.results
+        col_mem_addrs = pre.mem_addrs
+        col_mvz = pre.mem_values_or_zero
+        col_takens = pre.takens
+        col_targets = pre.targets
+        col_operands_low = pre.operands_low
+        col_result_low = pre.result_low
+        col_actual_low = pre.actual_low
+        col_latency = pre.latency
+        col_busy = pre.busy
+        pc_lines, pc_pages, mem_lines, mem_pages = pre.geometry(
+            cfg.line_bytes, cfg.page_bytes
+        )
+
+        # Hoisted config scalars and bound methods.
+        fetch_width = cfg.fetch_width
+        ifq_size = cfg.ifq_size
+        front_depth = cfg.front_depth
+        decode_width = cfg.decode_width
+        rob_size = cfg.rob_size
+        rs_size = cfg.rs_size
+        lq_size = cfg.lq_size
+        sq_size = cfg.sq_size
+        issue_width = cfg.issue_width
+        commit_width = cfg.commit_width
+        btb_miss_bubble = cfg.btb_miss_bubble
+        redirect_penalty = cfg.redirect_penalty
+
+        counters_record = counters.record
+        hierarchy = self.hierarchy
+        l1_latency = hierarchy.l1_latency
+        fetch_line = hierarchy.instruction_fetch_line
+        load_line = hierarchy.load_line
+        store_line = hierarchy.store_line
+        frontend = self.frontend
+        frontend_process = frontend.process
+        memoized = frontend.memoized_btb is not None
+
+        if th:
+            width_predictor = self.width_predictor
+            prime = getattr(width_predictor, "prime", None)
+            wp_predict = width_predictor.predict_low_width
+            wp_correct = width_predictor.correct_prediction
+            wp_train = width_predictor.record_and_train
+            register_file = self.register_file
+            rf_read_group = register_file.read_group
+            rf_value_is_low = register_file.value_is_low
+            rf_write = register_file.write
+            alu_execute = self.alu.execute
+            bypass_broadcast = self.bypass.broadcast
+            sched_die_for_occupancy = self.scheduler.die_for_occupancy
+            sched_broadcast = self.scheduler.broadcast_with_occupancy
+            pam_load = self.pam.load_broadcast
+            pam_store = self.pam.store_broadcast
+            dc_record_load = self.dcache_model.record_load
+            dc_record_fill = self.dcache_model.record_fill
+            dc_record_store = self.dcache_model.record_store
+
+        # Fetch state
+        next_fetch_floor = 0
+        fetch_cycle = 0
+        fetched_in_cycle = 0
+        current_line = -1
+        redirect_pending = False
+
+        # Dispatch state
+        dispatch_floor = 0
+        last_dispatch_cycle = -1
+        dispatched_in_cycle = 0
+
+        # Resource free-at queues.  ROB/LQ/SQ entries free at commit
+        # cycles, which this loop produces in non-decreasing order, so a
+        # FIFO pop is the heap's minimum.  RS entries free at issue+1,
+        # which is not monotonic; a sorted list keeps pop-min O(1) and
+        # turns the occupancy count ("entries freeing after cycle C")
+        # into a binary search.
+        rob_q = deque()
+        rs_list: List[int] = []
+        lq_q = deque()
+        sq_q = deque()
+        ifq_ring: List[int] = []  # dispatch cycles of the last ifq_size insts
+
+        # Issue state (same pruning discipline as the reference loop).
+        issued_in_cycle: Dict[int, int] = {}
+        issue_prune_at = 4096
+        pools = {
+            "int_alu": _Pool(cfg.int_alu_units),
+            "int_shift": _Pool(cfg.int_shift_units),
+            "int_mul": _Pool(cfg.int_mul_units),
+            "fp_add": _Pool(cfg.fp_add_units),
+            "fp_mul": _Pool(cfg.fp_mul_units),
+            "fp_div": _Pool(cfg.fp_div_units),
+            "ld_st": _Pool(cfg.load_store_ports),
+            "ld_only": _Pool(cfg.load_only_ports),
+        }
+        pool_for_op = {
+            OpClass.STORE: pools["ld_st"],
+            OpClass.ISHIFT: pools["int_shift"],
+            OpClass.IMUL: pools["int_mul"],
+            OpClass.FADD: pools["fp_add"],
+            OpClass.FMUL: pools["fp_mul"],
+            OpClass.FDIV: pools["fp_div"],
+        }
+        for _op in OpClass:
+            pool_for_op.setdefault(_op, pools["int_alu"])
+        from repro.isa.compiled import OPCLASS_LIST
+        pool_by_code = [pool_for_op[op] for op in OPCLASS_LIST]
+        ld_st_pool, ld_only_pool = pools["ld_st"], pools["ld_only"]
+        ld_st_free = ld_st_pool.earliest_free
+        ld_only_free = ld_only_pool.earliest_free
+        mshr_acquire = _Pool(cfg.mshr_entries).acquire
+
+        # Register scoreboard: cycle each architectural register is ready.
+        reg_ready: Dict[int, int] = {}
+        reg_ready_get = reg_ready.get
+
+        # Commit state
+        last_commit_cycle = 0
+        committed_in_cycle = 0
+        cycle_base = 0
+
+        # Stall accounting in locals; stall_total mirrors
+        # StallBreakdown.total so the CPI-stack category test stays a
+        # single int comparison.
+        rf_group_stalls = 0
+        alu_input_stalls = 0
+        alu_reexecutions = 0
+        dcache_width_stalls = 0
+        btb_memoization_stalls = 0
+        stall_total = 0
+
+        cpi_stack: Dict[str, int] = {}
+        prev_commit_for_stack = 0
+
+        fault_hook = FAULT_HOOK
+
+        for index in range(n):
+            if fault_hook is not None:
+                fault_hook(index)
+            if index == warmup and warmup:
+                self._reset_measurement()
+                rf_group_stalls = 0
+                alu_input_stalls = 0
+                alu_reexecutions = 0
+                dcache_width_stalls = 0
+                btb_memoization_stalls = 0
+                stall_total = 0
+                cycle_base = last_commit_cycle
+                cpi_stack = {}
+                prev_commit_for_stack = last_commit_cycle
+            stalls_before = stall_total
+
+            # ---------------- FETCH ---------------- #
+            line = fetch_lines[index]
+            new_line = line != current_line or redirect_pending
+            if fetched_in_cycle >= fetch_width or new_line:
+                fetch_cycle += 1
+                fetched_in_cycle = 0
+            if fetch_cycle < next_fetch_floor:
+                fetch_cycle = next_fetch_floor
+            # IFQ back-pressure: fetch may only run ifq_size ahead of dispatch.
+            if len(ifq_ring) >= ifq_size:
+                floor = ifq_ring[-ifq_size]
+                if fetch_cycle < floor:
+                    fetch_cycle = floor
+            frontend_miss = False
+            if new_line:
+                access_cycles = fetch_line(pc_lines[index], pc_pages[index])
+                if access_cycles > l1_latency:
+                    # Miss: bubble until the line arrives.
+                    fetch_cycle += access_cycles - l1_latency
+                    frontend_miss = True
+                current_line = line
+                redirect_pending = False
+            fetched_in_cycle += 1
+            if next_fetch_floor < fetch_cycle:
+                next_fetch_floor = fetch_cycle
+
+            # Front-end control flow.
+            mispredicted = False
+            if col_is_control[index]:
+                taken = col_takens[index]
+                outcome = frontend_process(
+                    ops[index], pcs[index], taken, col_targets[index]
+                )
+                mispredicted = outcome.mispredicted or (taken and not outcome.target_known)
+                frontend_bubbles = outcome.extra_bubbles
+                if taken and not mispredicted and codes[index] != RETURN_CODE \
+                        and not outcome.target_known:
+                    frontend_bubbles += btb_miss_bubble
+                if taken:
+                    redirect_pending = True
+                if frontend_bubbles:
+                    floor = fetch_cycle + frontend_bubbles
+                    if next_fetch_floor < floor:
+                        next_fetch_floor = floor
+                    if memoized:
+                        btb_memoization_stalls += outcome.extra_bubbles
+                        stall_total += outcome.extra_bubbles
+
+            # ---------------- DECODE / WIDTH PREDICT ---------------- #
+            counters_record("rename", NUM_DIES)
+            counters_record("fetch_queue", NUM_DIES)
+            predicted_low = False
+            actual_low = False
+            operands_low = col_operands_low[index]
+            result_low = col_result_low[index]
+            intdp = col_is_intdp[index]
+            if th and intdp:
+                # The per-op actual width class (data value for memory
+                # ops, operands+result for ALU ops) is precomputed.
+                actual_low = col_actual_low[index]
+                if prime is not None:  # oracle variant
+                    prime(actual_low)
+                predicted_low = wp_predict(pcs[index])
+
+            # ---------------- DISPATCH ---------------- #
+            dispatch_cycle = fetch_cycle + front_depth
+            if dispatch_cycle < dispatch_floor:
+                dispatch_cycle = dispatch_floor
+            if dispatch_cycle == last_dispatch_cycle and dispatched_in_cycle >= decode_width:
+                dispatch_cycle += 1
+            if rob_q and len(rob_q) >= rob_size:
+                freed = rob_q.popleft()
+                if freed > dispatch_cycle:
+                    dispatch_cycle = freed
+            if rs_list and len(rs_list) >= rs_size:
+                freed = rs_list.pop(0)
+                if freed > dispatch_cycle:
+                    dispatch_cycle = freed
+            is_load = col_is_load[index]
+            is_store = col_is_store[index]
+            if is_load and len(lq_q) >= lq_size:
+                freed = lq_q.popleft()
+                if freed > dispatch_cycle:
+                    dispatch_cycle = freed
+            if is_store and len(sq_q) >= sq_size:
+                freed = sq_q.popleft()
+                if freed > dispatch_cycle:
+                    dispatch_cycle = freed
+
+            # Register file read; decide which operands come via bypass.
+            ready = 0
+            bypass_sourced = False
+            srcs = col_srcs[index]
+            for src in srcs:
+                src_ready = reg_ready_get(src, 0)
+                if src_ready > ready:
+                    ready = src_ready
+                if src_ready > dispatch_cycle:
+                    bypass_sourced = True
+
+            if th and intdp and srcs:
+                if is_load or is_store:
+                    # Memory ops read full-width address operands; see run().
+                    reads = [
+                        (src, value, rf_value_is_low(src, value))
+                        for src, value in zip(srcs, col_svals[index])
+                    ]
+                    rf_read_group(reads)
+                    effective_low = predicted_low
+                elif not bypass_sourced:
+                    reads = [
+                        (src, value, predicted_low)
+                        for src, value in zip(srcs, col_svals[index])
+                    ]
+                    access = rf_read_group(reads)
+                    if access.stall:
+                        # One stall for the whole dispatch group.
+                        rf_group_stalls += 1
+                        stall_total += 1
+                        wp_correct(pcs[index])
+                        dispatch_cycle += 1
+                        effective_low = False
+                    else:
+                        effective_low = predicted_low
+                else:
+                    effective_low = predicted_low
+            else:
+                if srcs and not bypass_sourced:
+                    counters_record("register_file", NUM_DIES)
+                effective_low = predicted_low
+
+            if dispatch_cycle != last_dispatch_cycle:
+                dispatched_in_cycle = 0
+                last_dispatch_cycle = dispatch_cycle
+            dispatched_in_cycle += 1
+            dispatch_floor = dispatch_cycle
+            ifq_ring.append(dispatch_cycle)
+            if len(ifq_ring) > ifq_size * 2:
+                del ifq_ring[:ifq_size]
+
+            # Scheduler entry allocation (occupancy by binary search over
+            # the sorted RS free-at list — same count as the linear scan).
+            if th:
+                occupancy = 1 + len(rs_list) - bisect_right(rs_list, dispatch_cycle)
+                sched_die_for_occupancy(occupancy)
+
+            # ---------------- ISSUE ---------------- #
+            earliest = dispatch_cycle + 1
+            if ready > earliest:
+                earliest = ready
+
+            alu_stall = 0
+            reexecute = False
+            is_memory = col_is_memory[index]
+            if th and intdp and not is_memory:
+                execution = alu_execute(
+                    predicted_low=effective_low,
+                    operands_low=operands_low,
+                    result_low=result_low,
+                )
+                alu_stall = execution.input_stall_cycles if bypass_sourced else 0
+                reexecute = execution.reexecute
+                if alu_stall:
+                    alu_input_stalls += alu_stall
+                    stall_total += alu_stall
+                if reexecute:
+                    alu_reexecutions += 1
+                    stall_total += 1
+            elif is_memory:
+                # Address generation is a dedicated full-width AGU.
+                counters_record("alu", NUM_DIES)
+            elif intdp:
+                counters_record("alu", NUM_DIES)
+            elif col_is_fp[index]:
+                counters_record("fpu", NUM_DIES)
+
+            earliest += alu_stall
+            if is_load:
+                # A load may use either memory port; pick the one free sooner.
+                pool = (ld_only_pool
+                        if ld_st_free() > ld_only_free()
+                        else ld_st_pool)
+            else:
+                pool = pool_by_code[codes[index]]
+            issue_cycle = pool.acquire(earliest, col_busy[index])
+            count = issued_in_cycle.get(issue_cycle, 0)
+            while count >= issue_width:
+                issue_cycle += 1
+                count = issued_in_cycle.get(issue_cycle, 0)
+            issued_in_cycle[issue_cycle] = count + 1
+            if len(issued_in_cycle) >= issue_prune_at:
+                # See run(): entries at or below the dispatch floor are dead.
+                issued_in_cycle = {
+                    cycle: c
+                    for cycle, c in issued_in_cycle.items()
+                    if cycle > dispatch_floor
+                }
+                issue_prune_at = max(4096, 2 * len(issued_in_cycle))
+
+            # ---------------- EXECUTE / COMPLETE ---------------- #
+            latency = col_latency[index]
+            memory_miss = False
+            if is_load:
+                access_cycles, level, tlb_miss = load_line(
+                    mem_lines[index], mem_pages[index]
+                )
+                memory_miss = level != "l1" or tlb_miss
+                if level == "dram":
+                    # Wait for a free MSHR before the miss can go out.
+                    miss_start = mshr_acquire(issue_cycle + 1, access_cycles)
+                    latency += miss_start - (issue_cycle + 1)
+                latency += access_cycles
+                if th:
+                    pam_load(col_mem_addrs[index])
+                    outcome = dc_record_load(
+                        col_mem_addrs[index],
+                        col_mvz[index],
+                        predicted_low=effective_low,
+                    )
+                    if outcome.stall_cycles:
+                        dcache_width_stalls += outcome.stall_cycles
+                        stall_total += outcome.stall_cycles
+                        latency += outcome.stall_cycles
+                    if level != "l1":
+                        dc_record_fill()
+                else:
+                    counters_record("l1_dcache", NUM_DIES)
+                    counters_record("load_queue", NUM_DIES)
+                    counters_record("store_queue", NUM_DIES)
+            elif is_store:
+                if th:
+                    pam_store(col_mem_addrs[index])
+                else:
+                    counters_record("load_queue", NUM_DIES)
+                    counters_record("store_queue", NUM_DIES)
+
+            if reexecute:
+                latency += col_latency[index]
+            complete_cycle = issue_cycle + latency
+
+            # Result broadcast: bypass + scheduler wakeup + RF/ROB write.
+            dst = col_dsts[index]
+            if dst is not None:
+                reg_ready[dst] = complete_cycle
+                if th:
+                    bypass_broadcast(result_low if intdp else False)
+                    wakeup_occupancy = len(rs_list) - bisect_right(rs_list, complete_cycle)
+                    sched_broadcast(wakeup_occupancy)
+                    rf_write(dst, col_results[index])
+                    counters_record(
+                        "rob", 1 if (intdp and result_low) else NUM_DIES
+                    )
+                else:
+                    counters_record("bypass", NUM_DIES)
+                    counters_record("scheduler", NUM_DIES)
+                    counters_record("register_file", NUM_DIES)
+                    counters_record("rob", NUM_DIES)
+
+            # Train the width predictor on the architectural outcome.
+            if th and intdp:
+                wp_train(pcs[index], predicted_low, actual_low)
+
+            # Branch resolution (mispredicted is only set for control ops).
+            if mispredicted:
+                floor = complete_cycle + redirect_penalty
+                if next_fetch_floor < floor:
+                    next_fetch_floor = floor
+                redirect_pending = True
+
+            # ---------------- COMMIT ---------------- #
+            commit_cycle = complete_cycle + 1
+            if commit_cycle < last_commit_cycle:
+                commit_cycle = last_commit_cycle
+            if commit_cycle == last_commit_cycle and committed_in_cycle >= commit_width:
+                commit_cycle += 1
+            if commit_cycle != last_commit_cycle:
+                committed_in_cycle = 0
+                last_commit_cycle = commit_cycle
+            committed_in_cycle += 1
+
+            # CPI-stack attribution for this instruction's commit gap.
+            if th and stall_total != stalls_before:
+                category = "width"
+            elif mispredicted:
+                category = "branch"
+            elif memory_miss:
+                category = "memory"
+            elif frontend_miss:
+                category = "frontend"
+            elif ready > dispatch_cycle + 1:
+                category = "dependency"
+            elif issue_cycle > earliest:
+                category = "structural"
+            else:
+                category = "base"
+            gap = commit_cycle - prev_commit_for_stack
+            if gap > 0:
+                cpi_stack[category] = cpi_stack.get(category, 0) + gap
+            prev_commit_for_stack = commit_cycle
+
+            if is_store:
+                store_line(mem_lines[index], mem_pages[index])
+                if th:
+                    dc_record_store(col_mem_addrs[index], col_mvz[index])
+                else:
+                    counters_record("l1_dcache", NUM_DIES)
+
+            rob_q.append(commit_cycle)
+            insort(rs_list, issue_cycle + 1)
+            if is_load:
+                lq_q.append(commit_cycle)
+            elif is_store:
+                sq_q.append(commit_cycle)
+
+        self.stalls = StallBreakdown(
+            rf_group_stalls=rf_group_stalls,
+            alu_input_stalls=alu_input_stalls,
+            alu_reexecutions=alu_reexecutions,
+            dcache_width_stalls=dcache_width_stalls,
+            btb_memoization_stalls=btb_memoization_stalls,
+        )
+        total_cycles = (last_commit_cycle - cycle_base) if n else 0
+        herding = self._herding_metrics()
+        activity = counters.into_plain() \
+            if isinstance(counters, BatchedActivityCounters) else counters
+        return SimulationResult(
+            benchmark=pre.name,
+            benchmark_class=pre.benchmark_class,
+            config_name=cfg.name,
+            clock_ghz=cfg.clock_ghz,
+            instructions=n - warmup,
+            cycles=max(total_cycles, 1),
+            activity=activity,
+            branch_stats=self.frontend.stats,
+            cache_stats={
+                "l1i": self.hierarchy.l1i.stats,
+                "l1d": self.hierarchy.l1d.stats,
+                "l2": self.hierarchy.l2.stats,
+                "itlb": self.hierarchy.itlb.stats,
+                "dtlb": self.hierarchy.dtlb.stats,
+            },
+            width_stats=self.width_predictor.stats if th else None,
+            stalls=self.stalls,
+            herding=herding,
+            cpi_stack=cpi_stack,
+        )
+
+    # ------------------------------------------------------------------ #
+
     def _herding_metrics(self) -> Dict[str, float]:
         metrics: Dict[str, float] = {}
         if self.pam is not None:
@@ -651,11 +1222,31 @@ class TimingSimulator:
         return metrics
 
 
-def simulate(trace: Trace, config: CPUConfig, warmup: int = 0) -> SimulationResult:
+def simulate(trace: Union[Trace, CompiledTrace], config: CPUConfig,
+             warmup: int = 0) -> SimulationResult:
     """Convenience wrapper: run ``trace`` under ``config``.
 
     ``warmup`` instructions at the head of the trace warm caches and
     predictors without contributing to the reported metrics (the trace
     analogue of SimPoint's warmed simulation points).
+
+    Accepts either an object-form :class:`Trace` or a
+    :class:`~repro.isa.compiled.CompiledTrace`.  By default the columnar
+    fast path is used (compiling object traces on first use); setting
+    ``REPRO_COLUMNAR=0`` forces the reference loop, which produces
+    byte-identical results by construction.  A trace the columnar layout
+    cannot represent falls back to the reference loop transparently.
     """
-    return TimingSimulator(config).run(trace, warmup=warmup)
+    if isinstance(trace, Trace):
+        if columnar_enabled():
+            compiled = trace.compiled()
+            if compiled is not None:
+                return TimingSimulator(config, batched=True).run_compiled(
+                    predecode(compiled), warmup=warmup
+                )
+        return TimingSimulator(config).run(trace, warmup=warmup)
+    if columnar_enabled():
+        return TimingSimulator(config, batched=True).run_compiled(
+            predecode(trace), warmup=warmup
+        )
+    return TimingSimulator(config).run(trace.to_trace(), warmup=warmup)

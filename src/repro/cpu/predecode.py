@@ -1,0 +1,247 @@
+"""Vectorized pre-decode of a compiled trace for the timing loop.
+
+Everything the scoreboard loop needs per instruction that does *not*
+depend on dynamic timing state is computed here, once per trace, with
+numpy reductions over the columnar form — op-class predicate columns,
+the Section 3 16-bit significance classification (``is_low_width`` is
+equivalent to ``v < 2**15 or v >= 2**64 - 2**15`` on the unsigned
+representation), functional-unit latencies, and cache line/page indices.
+A config sweep replays the same :class:`PreDecodedTrace` under every
+configuration, so the per-instruction Python work in
+:meth:`~repro.cpu.pipeline.TimingSimulator.run_compiled` shrinks to the
+genuinely dynamic scoreboard updates.
+
+The columns are materialized as plain Python lists (``ndarray.tolist``):
+the consuming loop is scalar, and list indexing of native ints/bools is
+substantially faster than per-element numpy scalar extraction.
+
+Geometry-dependent columns (cache line and TLB page numbers) are cached
+per ``(line_bytes, page_bytes)``; the L2 prewarm install sequence is
+cached per ``line_bytes``; the static width-prediction profile is cached
+once.  All cached derivations replicate the reference path's iteration
+order exactly — dict insertion order feeds LRU state and the width
+profile's dict order, both of which the byte-identity guarantee covers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.isa.compiled import CompiledTrace, OPCLASS_LIST
+from repro.isa.opcodes import OpClass, OP_LATENCY
+
+_LOW_POS = np.uint64(1 << 15)
+_LOW_NEG = np.uint64((1 << 64) - (1 << 15))
+
+_IS_CONTROL = np.array([op.is_control for op in OPCLASS_LIST])
+_IS_MEMORY = np.array([op.is_memory for op in OPCLASS_LIST])
+_IS_INTDP = np.array([op.is_integer_datapath for op in OPCLASS_LIST])
+_IS_FP = np.array([op.is_fp for op in OPCLASS_LIST])
+_LATENCY = np.array([OP_LATENCY[op] for op in OPCLASS_LIST], dtype=np.int64)
+#: Only FDIV occupies its unit for more than one cycle (see the issue stage).
+_BUSY = np.array(
+    [OP_LATENCY[op] if op is OpClass.FDIV else 1 for op in OPCLASS_LIST],
+    dtype=np.int64,
+)
+
+LOAD_CODE = OPCLASS_LIST.index(OpClass.LOAD)
+STORE_CODE = OPCLASS_LIST.index(OpClass.STORE)
+RETURN_CODE = OPCLASS_LIST.index(OpClass.RETURN)
+FDIV_CODE = OPCLASS_LIST.index(OpClass.FDIV)
+
+
+def _low_width(values: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`repro.isa.values.is_low_width` over u64 values."""
+    return (values < _LOW_POS) | (values >= _LOW_NEG)
+
+
+class PreDecodedTrace:
+    """Config-independent per-instruction columns as Python lists."""
+
+    __slots__ = (
+        "name", "benchmark_class", "n",
+        "pcs", "ops", "codes", "fetch_lines",
+        "is_control", "is_memory", "is_intdp", "is_fp", "is_load", "is_store",
+        "srcs", "svals", "dsts", "results", "mem_addrs", "has_mem_addr",
+        "mem_values_or_zero", "takens", "targets",
+        "operands_low", "result_low", "actual_low", "latency", "busy",
+        "_pc_arr", "_mem_arr", "_geometry", "_prewarm", "_width_profile",
+    )
+
+    def __init__(self, compiled: CompiledTrace):
+        rows = compiled.array
+        self.name = compiled.name
+        self.benchmark_class = compiled.benchmark_class
+        self.n = len(rows)
+
+        pc = np.ascontiguousarray(rows["pc"])
+        codes = np.ascontiguousarray(rows["op"])
+        result = np.ascontiguousarray(rows["result"])
+        mem_value = np.ascontiguousarray(rows["mem_value"])
+        has_mv = np.ascontiguousarray(rows["has_mem_value"])
+        mem_addr = np.ascontiguousarray(rows["mem_addr"])
+        nvals = np.ascontiguousarray(rows["nvals"])
+        dst = np.ascontiguousarray(rows["dst"])
+
+        self.pcs = pc.tolist()
+        self.codes = codes.tolist()
+        self.ops = [OPCLASS_LIST[code] for code in self.codes]
+        self.fetch_lines = (pc // 64).tolist()
+
+        is_load = codes == LOAD_CODE
+        is_store = codes == STORE_CODE
+        is_intdp = _IS_INTDP[codes]
+        self.is_control = _IS_CONTROL[codes].tolist()
+        self.is_memory = _IS_MEMORY[codes].tolist()
+        self.is_intdp = is_intdp.tolist()
+        self.is_fp = _IS_FP[codes].tolist()
+        self.is_load = is_load.tolist()
+        self.is_store = is_store.tolist()
+
+        nsrcs = rows["nsrcs"].tolist()
+        src0 = rows["src0"].tolist()
+        src1 = rows["src1"].tolist()
+        self.srcs = [
+            () if k == 0 else ((a,) if k == 1 else (a, b))
+            for k, a, b in zip(nsrcs, src0, src1)
+        ]
+        sval0 = rows["sval0"].tolist()
+        sval1 = rows["sval1"].tolist()
+        self.svals = [
+            () if k == 0 else ((a,) if k == 1 else (a, b))
+            for k, a, b in zip(nvals.tolist(), sval0, sval1)
+        ]
+        self.dsts = [None if d < 0 else d for d in dst.tolist()]
+        self.results = result.tolist()
+        self.mem_addrs = mem_addr.tolist()
+        self.has_mem_addr = rows["has_mem_addr"].tolist()
+        self.mem_values_or_zero = np.where(has_mv, mem_value, 0).tolist()
+        self.takens = rows["taken"].tolist()
+        has_target = rows["has_target"].tolist()
+        self.targets = [
+            t if h else None for h, t in zip(has_target, rows["target"].tolist())
+        ]
+
+        # Width classification (Section 3): operands, result, and the
+        # per-op "actual" class the predictor trains on.  Padding src
+        # values are 0 (low), so the nvals == 1 case reduces to low0.
+        low0 = _low_width(np.ascontiguousarray(rows["sval0"]))
+        low1 = _low_width(np.ascontiguousarray(rows["sval1"]))
+        low_result = _low_width(result)
+        low_mv = _low_width(mem_value)
+        operands_low = (nvals == 0) | (low0 & low1)
+        inst_low = low_result & operands_low
+        self.operands_low = operands_low.tolist()
+        self.result_low = ((dst < 0) | low_result).tolist()
+        actual_low = np.where(
+            is_load,
+            np.where(has_mv, low_mv, low_result),
+            np.where(is_store, np.where(has_mv, low_mv, True), inst_low),
+        ) & is_intdp
+        self.actual_low = actual_low.tolist()
+
+        self.latency = _LATENCY[codes].tolist()
+        self.busy = _BUSY[codes].tolist()
+
+        self._pc_arr = pc
+        self._mem_arr = mem_addr
+        self._geometry: Dict[Tuple[int, int], tuple] = {}
+        self._prewarm: Dict[int, List[int]] = {}
+        self._width_profile: Optional[Dict[int, bool]] = None
+
+    # ------------------------------------------------------------------ #
+
+    def geometry(self, line_bytes: int, page_bytes: int) -> tuple:
+        """Cache-line and TLB-page index columns for one cache geometry.
+
+        Returns ``(pc_lines, pc_pages, mem_lines, mem_pages)``.  The
+        hierarchy's line-based access paths require L1I/L1D/L2 to share
+        ``line_bytes``, which :func:`~repro.cpu.caches.build_hierarchy`
+        guarantees (one ``config.line_bytes`` feeds all three).
+        """
+        key = (line_bytes, page_bytes)
+        cached = self._geometry.get(key)
+        if cached is None:
+            cached = (
+                (self._pc_arr // line_bytes).tolist(),
+                (self._pc_arr // page_bytes).tolist(),
+                (self._mem_arr // line_bytes).tolist(),
+                (self._mem_arr // page_bytes).tolist(),
+            )
+            self._geometry[key] = cached
+        return cached
+
+    def prewarm_lines(self, line_bytes: int) -> List[int]:
+        """The L2 prewarm install sequence, as line numbers, in the exact
+        order :meth:`TimingSimulator._prewarm` installs them (insertion
+        order feeds LRU state, so order is part of the contract)."""
+        cached = self._prewarm.get(line_bytes)
+        if cached is not None:
+            return cached
+        region_shift = 16
+        access_counts: Dict[int, int] = {}
+        region_accesses: Dict[int, int] = {}
+        pcs = self.pcs
+        mem_addrs = self.mem_addrs
+        has_mem_addr = self.has_mem_addr
+        for i in range(self.n):
+            addr = pcs[i]
+            tag = addr // line_bytes
+            access_counts[tag] = access_counts.get(tag, 0) + 1
+            region = addr >> region_shift
+            region_accesses[region] = region_accesses.get(region, 0) + 1
+            if has_mem_addr[i]:
+                addr = mem_addrs[i]
+                tag = addr // line_bytes
+                access_counts[tag] = access_counts.get(tag, 0) + 1
+                region = addr >> region_shift
+                region_accesses[region] = region_accesses.get(region, 0) + 1
+        region_lines: Dict[int, int] = {}
+        region_reused: Dict[int, int] = {}
+        for tag, count in access_counts.items():
+            region = (tag * line_bytes) >> region_shift
+            region_lines[region] = region_lines.get(region, 0) + 1
+            if count >= 2:
+                region_reused[region] = region_reused.get(region, 0) + 1
+        install: List[int] = []
+        for tag, count in access_counts.items():
+            region = (tag * line_bytes) >> region_shift
+            lines_here = region_lines[region]
+            ratio = region_accesses[region] / lines_here
+            reuse_fraction = region_reused.get(region, 0) / lines_here
+            if count >= 2 or ratio >= 2.0 or reuse_fraction >= 0.025:
+                install.append(tag)
+        self._prewarm[line_bytes] = install
+        return install
+
+    def width_profile(self) -> Dict[int, bool]:
+        """Majority width class per static PC, identical (including dict
+        order) to :func:`repro.core.static_width.build_width_profile`."""
+        profile = self._width_profile
+        if profile is None:
+            totals: Dict[int, int] = {}
+            lows: Dict[int, int] = {}
+            pcs = self.pcs
+            actual_low = self.actual_low
+            is_intdp = self.is_intdp
+            for i in range(self.n):
+                if not is_intdp[i]:
+                    continue
+                pc = pcs[i]
+                totals[pc] = totals.get(pc, 0) + 1
+                if actual_low[i]:
+                    lows[pc] = lows.get(pc, 0) + 1
+            profile = {pc: lows.get(pc, 0) * 2 > totals[pc] for pc in totals}
+            self._width_profile = profile
+        return profile
+
+
+def predecode(compiled: CompiledTrace) -> PreDecodedTrace:
+    """The (memoized) pre-decoded form of ``compiled``."""
+    pre = compiled._predecoded
+    if pre is None:
+        pre = PreDecodedTrace(compiled)
+        compiled._predecoded = pre
+    return pre

@@ -263,7 +263,11 @@ class ResultCache:
         tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
-            with gzip.open(tmp, "wb") as stream:
+            # Level 2 instead of the gzip default (9): cache entries are
+            # written once per cold simulation on the critical path, and
+            # the ~5x faster compression is worth the slightly larger
+            # files (the size cap bounds total growth either way).
+            with gzip.open(tmp, "wb", compresslevel=2) as stream:
                 pickle.dump(result, stream, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)
         except OSError:
@@ -505,6 +509,17 @@ class ResultCache:
             "size_bytes": self.size_bytes(),
         }
 
+    # ------------------------------------------------------------------ #
+    # Compiled-trace store
+
+    def trace_store(self) -> "TraceStore":
+        """The compiled-trace store sharing this cache's directory."""
+        store = getattr(self, "_trace_store", None)
+        if store is None:
+            store = TraceStore(self.version_dir / "traces")
+            self._trace_store = store
+        return store
+
     def describe(self) -> str:
         """Human-readable cache summary for the CLI."""
         entries = self.entries()
@@ -530,4 +545,129 @@ class ResultCache:
         claims = self.claims()
         if claims:
             lines.append(f"claims:          {len(claims)} in-flight or stale")
+        traces = self.trace_store().entries()
+        if traces:
+            lines.append(f"compiled traces: {len(traces)}")
         return "\n".join(lines)
+
+
+def trace_store_key(workload_fingerprint: str) -> str:
+    """Content hash keying one compiled trace in the :class:`TraceStore`.
+
+    Composes the workload fingerprint (which already covers the
+    generator version, parameters, seed, and length — see
+    :func:`repro.workloads.emulator.workload_fingerprint`) with the cache
+    key schema and the columnar trace schema, so a change to either the
+    on-disk layout or the key derivation retires every stored trace.
+    """
+    from repro.isa.compiled import TRACE_SCHEMA_VERSION
+
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "kind": "trace",
+        "trace_schema": TRACE_SCHEMA_VERSION,
+        "workload": workload_fingerprint,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class TraceStore:
+    """Persistent store of compiled (columnar) traces.
+
+    One entry per workload fingerprint: ``traces/<key>.npy`` (the
+    structured array, loaded memory-mapped) plus ``traces/<key>.json``
+    (identifying metadata).  Lives inside the result cache's version
+    directory — ``REPRO_CACHE=0`` disables both together, and
+    ``REPRO_CACHE_DIR`` relocates both together — but entries are *not*
+    counted against ``REPRO_CACHE_MAX_MB`` (a sweep re-reads its traces
+    constantly; evicting one mid-campaign would force a regeneration
+    spike, and the store is bounded by the workload suite's size anyway).
+
+    Writes go through per-pid temp files and ``os.replace``; the array
+    is renamed into place before the metadata, and readers require both,
+    so a torn write is indistinguishable from a miss and the stray
+    ``.npy`` is evicted on the next load.  Any damaged entry
+    (:class:`repro.isa.compiled.TraceReadError`) is deleted — both files
+    — and reported as a miss, costing one regeneration, not a failure.
+    """
+
+    def __init__(self, directory: os.PathLike):
+        self.dir = Path(directory)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+
+    def npy_path(self, key: str) -> Path:
+        return self.dir / f"{key}.npy"
+
+    def _meta_path(self, key: str) -> Path:
+        return self.dir / f"{key}.json"
+
+    def load(self, key: str):
+        """The stored compiled trace (memory-mapped), or ``None``."""
+        from repro.isa.compiled import read_compiled, TraceReadError
+
+        npy = self.npy_path(key)
+        try:
+            compiled = read_compiled(npy, self._meta_path(key), mmap=True)
+        except TraceReadError:
+            self._evict(key)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return compiled
+
+    def _evict(self, key: str) -> None:
+        """Remove whatever remains of a damaged or torn entry."""
+        evicted = False
+        for path in (self.npy_path(key), self._meta_path(key)):
+            try:
+                path.unlink()
+                evicted = True
+            except OSError:
+                pass
+        if evicted:
+            self.evictions += 1
+
+    def store(self, key: str, compiled) -> Optional[Path]:
+        """Persist ``compiled`` under ``key``; returns the ``.npy`` path
+        (for shipping to workers), or ``None`` when the filesystem
+        refuses (read-only, full) and operation degrades to storeless."""
+        from repro.isa.compiled import write_compiled
+
+        npy = self.npy_path(key)
+        meta = self._meta_path(key)
+        pid = os.getpid()
+        tmp_npy = npy.with_name(f"{npy.name}.{pid}.tmp")
+        tmp_meta = meta.with_name(f"{meta.name}.{pid}.tmp")
+        try:
+            self.dir.mkdir(parents=True, exist_ok=True)
+            write_compiled(compiled, tmp_npy, tmp_meta)
+            os.replace(tmp_npy, npy)
+            os.replace(tmp_meta, meta)
+        except OSError:
+            for tmp in (tmp_npy, tmp_meta):
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+            return None
+        self.stores += 1
+        return npy
+
+    def entries(self) -> List[Path]:
+        """All stored ``.npy`` entries, sorted."""
+        if not self.dir.is_dir():
+            return []
+        return sorted(self.dir.glob("*.npy"))
+
+    def size_bytes(self) -> int:
+        total = 0
+        for path in list(self.entries()) + sorted(self.dir.glob("*.json")):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total

@@ -29,15 +29,17 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.cpu.config import CPUConfig, paper_configurations
-from repro.cpu.pipeline import simulate
+from repro.cpu.pipeline import columnar_enabled, simulate
 from repro.cpu.results import SimulationResult
 from repro.experiments.cache import (
     DEFAULT_CLAIM_STALE_S,
     ResultCache,
     simulation_key,
     thermal_key,
+    trace_store_key,
 )
 from repro.floorplan import Floorplan, planar_floorplan, stacked_floorplan
+from repro.isa.compiled import CompiledTrace
 from repro.isa.trace import Trace
 from repro.power.model import (
     PowerBreakdown,
@@ -48,7 +50,7 @@ from repro.power.model import (
 from repro.thermal.power_map import build_power_map, rasterize
 from repro.thermal.solver import ThermalResult, ThermalSolver
 from repro.thermal.stack import planar_stack, stacked_3d_stack
-from repro.workloads.suite import benchmark_names, generate
+from repro.workloads.suite import benchmark_names, fingerprint, generate
 
 #: The power/thermal reference application (the paper's peak-power app).
 REFERENCE_BENCHMARK = "mpeg2"
@@ -64,7 +66,9 @@ ENV_JOBS = "REPRO_JOBS"
 ENV_TASK_TIMEOUT = "REPRO_TASK_TIMEOUT_S"
 
 #: Thermal solves whose system has at least this many unknowns
-#: (layers x ny x nx) run in a supervised subprocess; unset = in-process.
+#: (layers x ny x nx) run in a supervised subprocess.  Unset = a
+#: RAM-calibrated default (:func:`repro.experiments.supervised.
+#: default_subproc_cells`); "0"/"off"/"no"/"false"/"none" = never.
 ENV_THERMAL_SUBPROC = "REPRO_THERMAL_SUBPROC_CELLS"
 
 #: Deadline (seconds) for a supervised thermal subprocess; defaults to
@@ -159,6 +163,16 @@ class ContextStats:
     claim_dedup: int = 0
     #: stale or expired claims this process took over
     claim_takeovers: int = 0
+    #: taken-over keys simulated *during* a claim wait (work stealing)
+    claim_steals: int = 0
+    #: traces generated by the emulator in this process
+    traces_generated: int = 0
+    #: compiled traces served from the on-disk trace store
+    trace_cache_hits: int = 0
+    #: wall-clock spent compiling traces to columnar form
+    trace_compile_seconds: float = 0.0
+    #: committed instructions simulated in this process (incl. warmup)
+    instructions_simulated: int = 0
     #: thermal batches solved in a supervised subprocess
     thermal_subproc_solves: int = 0
     #: supervised thermal solves that fell back in-process
@@ -217,6 +231,12 @@ class ContextStats:
             "claim_waits": self.claim_waits,
             "claim_dedup": self.claim_dedup,
             "claim_takeovers": self.claim_takeovers,
+            "claim_steals": self.claim_steals,
+            "traces_generated": self.traces_generated,
+            "trace_cache_hits": self.trace_cache_hits,
+            "trace_compile_seconds": round(self.trace_compile_seconds, 3),
+            "instructions_simulated": self.instructions_simulated,
+            "instructions_per_second": self.instructions_per_second(),
             "thermal_subproc_solves": self.thermal_subproc_solves,
             "thermal_subproc_fallbacks": self.thermal_subproc_fallbacks,
             "stage_seconds": {
@@ -224,6 +244,14 @@ class ContextStats:
                 for stage, seconds in sorted(self.stage_seconds.items())
             },
         }
+
+    def instructions_per_second(self) -> float:
+        """Simulated instructions per wall-clock second of the simulate
+        stage (0.0 until something has been simulated)."""
+        seconds = self.stage_seconds.get("simulate", 0.0)
+        if not seconds or not self.instructions_simulated:
+            return 0.0
+        return round(self.instructions_simulated / seconds, 1)
 
 
 def _all_configurations() -> Dict[str, CPUConfig]:
@@ -268,10 +296,41 @@ def _env_positive_number(name: str, convert=float) -> Optional[float]:
     return value if value > 0 else None
 
 
+def _resolve_thermal_subproc_cells() -> Optional[int]:
+    """The supervision threshold: explicit env value > calibrated default.
+
+    ``None`` (supervision disabled) only on an explicit opt-out value;
+    unset and invalid values fall back to the RAM-calibrated default.
+    """
+    from repro.experiments.supervised import (
+        DISABLED_VALUES,
+        default_subproc_cells,
+    )
+
+    raw = os.environ.get(ENV_THERMAL_SUBPROC, "").strip().lower()
+    if raw in DISABLED_VALUES:
+        return None
+    if raw:
+        explicit = _env_positive_number(ENV_THERMAL_SUBPROC, convert=int)
+        if explicit is not None:
+            return int(explicit)
+    return default_subproc_cells()
+
+
 def _simulate_task(
-    benchmark: str, config: CPUConfig, trace_length: int, warmup: int
+    benchmark: str,
+    config: CPUConfig,
+    trace_length: int,
+    warmup: int,
+    trace_file: Optional[str] = None,
 ) -> SimulationResult:
-    """Worker entry point: regenerate the (deterministic) trace and run.
+    """Worker entry point: map in the compiled trace (or regenerate) and run.
+
+    ``trace_file`` points at the parent's stored compiled trace; the
+    worker memory-maps it instead of re-running the emulator, so each
+    task ships a file path rather than a pickled instruction list.  A
+    damaged or vanished file degrades to regeneration — the emulator is
+    deterministic, so every path yields the same trace.
 
     The fault point is a no-op unless a fault-injection token directory
     is armed (see :mod:`repro.experiments.faults`); the serial path calls
@@ -280,6 +339,16 @@ def _simulate_task(
     from repro.experiments.faults import maybe_inject_worker_fault
 
     maybe_inject_worker_fault()
+    if trace_file is not None:
+        from repro.isa.compiled import read_compiled, TraceReadError
+
+        try:
+            compiled = read_compiled(trace_file)
+        except TraceReadError:
+            pass
+        else:
+            if len(compiled) == trace_length and compiled.name == benchmark:
+                return simulate(compiled, config, warmup=warmup)
     trace = generate(benchmark, length=trace_length)
     return simulate(trace, config, warmup=warmup)
 
@@ -310,9 +379,7 @@ class ExperimentContext:
         #: per-task deadline; None (the default) waits indefinitely
         self.task_timeout_s = _env_positive_number(ENV_TASK_TIMEOUT)
         #: thermal systems at least this many unknowns go to a subprocess
-        self.thermal_subproc_cells = _env_positive_number(
-            ENV_THERMAL_SUBPROC, convert=int
-        )
+        self.thermal_subproc_cells = _resolve_thermal_subproc_cells()
         self.thermal_timeout_s = (
             _env_positive_number(ENV_THERMAL_TIMEOUT) or self.task_timeout_s
         )
@@ -321,6 +388,8 @@ class ExperimentContext:
         self.claim_poll_s = CLAIM_POLL_S
         self.claim_stale_s = DEFAULT_CLAIM_STALE_S
         self._traces: Dict[str, Trace] = {}
+        self._compiled: Dict[str, Optional[CompiledTrace]] = {}
+        self._trace_files: Dict[str, Optional[str]] = {}
         self._runs: Dict[Tuple[str, str], SimulationResult] = {}
         self._config_runs: Dict[Tuple[str, str], SimulationResult] = {}
         self._thermals: Dict[Tuple[str, str], ThermalResult] = {}
@@ -334,8 +403,63 @@ class ExperimentContext:
         trace = self._traces.get(benchmark)
         if trace is None:
             trace = generate(benchmark, length=self.settings.trace_length)
+            self.stats.traces_generated += 1
             self._traces[benchmark] = trace
         return trace
+
+    def _compiled_for(self, benchmark: str) -> Optional[CompiledTrace]:
+        """The compiled columnar trace: memo -> disk store -> generate.
+
+        A store hit skips the emulator entirely — a config sweep (and
+        every later process pointed at the same cache directory) pays
+        for each workload's generation and compilation once.  ``None``
+        means the trace is not representable in columnar form; callers
+        fall back to the object path.
+        """
+        if benchmark in self._compiled:
+            return self._compiled[benchmark]
+        store = key = None
+        compiled = None
+        if self.cache is not None:
+            store = self.cache.trace_store()
+            key = trace_store_key(
+                fingerprint(benchmark, self.settings.trace_length)
+            )
+            compiled = store.load(key)
+            if compiled is not None:
+                self.stats.trace_cache_hits += 1
+                self._trace_files[benchmark] = os.fspath(store.npy_path(key))
+        if compiled is None:
+            trace = self.trace(benchmark)
+            start = time.perf_counter()
+            compiled = trace.compiled()
+            self.stats.trace_compile_seconds += time.perf_counter() - start
+            if compiled is not None and store is not None:
+                path = store.store(key, compiled)
+                self._trace_files[benchmark] = (
+                    None if path is None else os.fspath(path)
+                )
+        self._compiled[benchmark] = compiled
+        return compiled
+
+    def _trace_for_simulation(self, benchmark: str):
+        """What in-process :func:`simulate` calls should replay: the
+        compiled trace when the columnar path is on (shared pre-decode
+        across configs), the object trace otherwise."""
+        if columnar_enabled():
+            compiled = self._compiled_for(benchmark)
+            if compiled is not None:
+                return compiled
+        return self.trace(benchmark)
+
+    def _trace_file(self, benchmark: str) -> Optional[str]:
+        """The on-disk compiled trace workers should map, or ``None``
+        (store disabled/unusable, or trace uncompilable) — in which case
+        workers regenerate the trace themselves."""
+        if not columnar_enabled():
+            return None
+        self._compiled_for(benchmark)
+        return self._trace_files.get(benchmark)
 
     def _config_for(self, config_label: str) -> CPUConfig:
         config = self.configs.get(config_label)
@@ -355,10 +479,9 @@ class ExperimentContext:
         """One simulation, served from disk (or a peer process) when possible."""
         key = self._cache_key(benchmark, config)
         if self.cache is None:
-            result = simulate(
-                self.trace(benchmark), config, warmup=self.settings.warmup
-            )
+            result = self._run_serial(benchmark, config)
             self.stats.simulated += 1
+            self.stats.instructions_simulated += self.settings.trace_length
             return result
         cached = self.cache.load(key)
         if cached is not None:
@@ -369,10 +492,9 @@ class ExperimentContext:
             if peer_result is not None:
                 return peer_result
         try:
-            result = simulate(
-                self.trace(benchmark), config, warmup=self.settings.warmup
-            )
+            result = self._run_serial(benchmark, config)
             self.stats.simulated += 1
+            self.stats.instructions_simulated += self.settings.trace_length
             self.cache.store(key, result)
         finally:
             self.cache.release_claim(key)
@@ -492,8 +614,10 @@ class ExperimentContext:
         remainder is simulated — across worker processes when more than
         one simulation is pending and ``jobs`` allows it.  Misses whose
         cache key another process has claimed are not simulated here:
-        after our own batch completes, we wait (bounded) for the peer's
-        result and only take over if its claim goes stale.
+        after our own batch completes, we poll all waiting claims
+        *collectively* and steal the work behind any claim that resolves
+        to abandoned (stale holder, released without storing) the moment
+        it does, instead of serially sitting out each key's full wait.
         """
         pending = []
         waiting = []
@@ -514,17 +638,77 @@ class ExperimentContext:
                     continue
             pending.append((memo, memo_key, benchmark, config, cache_key))
         self._simulate_items(pending)
-        if not waiting:
-            return
-        takeover = []
-        for item in waiting:
-            memo, memo_key, _, _, cache_key = item
-            result = self._claim_coordinate(cache_key)
-            if result is not None:
-                memo[memo_key] = result
-            else:
-                takeover.append(item)
-        self._simulate_items(takeover)
+        if waiting:
+            self._await_claims(waiting)
+
+    def _await_claims(self, waiting) -> None:
+        """Collectively wait on peer-claimed work items, stealing as we go.
+
+        One bounded deadline covers the whole set (the peers run
+        concurrently with each other, so their waits overlap).  Each poll
+        sweeps every outstanding key: results that landed are adopted
+        (``claim_dedup``), and abandoned claims — stale holder, or
+        released without a stored result — are taken over and simulated
+        *immediately* (``claim_steals``), so this process does useful
+        work while the remaining keys are still being waited on.  Keys
+        still claimed when the deadline expires are simulated
+        uncoordinated, exactly like :meth:`_claim_coordinate`'s
+        ``wait_expired`` outcome (no claim of our own is taken).
+        """
+        cache = self.cache
+        for *_, cache_key in waiting:
+            self.stats.claim_waits += 1
+            self.stats.record_event("claim_wait", key=cache_key[:16])
+        deadline = time.monotonic() + self.claim_wait_s
+        remaining = list(waiting)
+        while remaining:
+            still = []
+            stolen = []
+            for item in remaining:
+                memo, memo_key, _, _, cache_key = item
+                result = cache.load(cache_key)
+                if result is not None:
+                    self.stats.claim_dedup += 1
+                    self.stats.record_event("claim_dedup", key=cache_key[:16])
+                    memo[memo_key] = result
+                    continue
+                if cache.claim_stale(cache_key, self.claim_stale_s):
+                    cache.break_claim(cache_key)
+                    self.stats.claim_takeovers += 1
+                    self.stats.record_event(
+                        "claim_takeover", key=cache_key[:16], reason="stale"
+                    )
+                    cache.try_claim(cache_key)
+                    stolen.append(item)
+                    continue
+                if cache.claim_holder(cache_key) is None:
+                    # Holder released without storing (full disk, crash
+                    # between release and store): claim and simulate.
+                    self.stats.claim_takeovers += 1
+                    self.stats.record_event(
+                        "claim_takeover", key=cache_key[:16], reason="released"
+                    )
+                    cache.try_claim(cache_key)
+                    stolen.append(item)
+                    continue
+                still.append(item)
+            if stolen:
+                self.stats.claim_steals += len(stolen)
+                self.stats.record_event("claim_steal", tasks=len(stolen))
+                self._simulate_items(stolen)
+            remaining = still
+            if not remaining:
+                return
+            if time.monotonic() >= deadline:
+                break
+            time.sleep(self.claim_poll_s)
+        for item in remaining:
+            cache_key = item[4]
+            self.stats.claim_takeovers += 1
+            self.stats.record_event(
+                "claim_takeover", key=cache_key[:16], reason="wait_expired"
+            )
+        self._simulate_items(remaining)
 
     def _simulate_items(self, pending) -> None:
         """Simulate claimed work items in parallel; store and release."""
@@ -535,6 +719,7 @@ class ExperimentContext:
             results = self._execute(tasks)
             for (memo, memo_key, _, _, cache_key), result in zip(pending, results):
                 self.stats.simulated += 1
+                self.stats.instructions_simulated += self.settings.trace_length
                 memo[memo_key] = result
                 if self.cache is not None:
                     self.cache.store(cache_key, result)
@@ -566,7 +751,10 @@ class ExperimentContext:
 
     def _run_serial(self, benchmark: str, config: CPUConfig) -> SimulationResult:
         """One in-process simulation (also the per-task fallback path)."""
-        return simulate(self.trace(benchmark), config, warmup=self.settings.warmup)
+        return simulate(
+            self._trace_for_simulation(benchmark), config,
+            warmup=self.settings.warmup,
+        )
 
     def _new_pool(self, workers: int):
         try:
@@ -640,6 +828,7 @@ class ExperimentContext:
                         future = pool.submit(
                             _simulate_task, benchmark, config,
                             settings.trace_length, settings.warmup,
+                            self._trace_file(benchmark),
                         )
                     except (BrokenProcessPool, RuntimeError):
                         # The pool broke under our feet; everything not

@@ -12,13 +12,77 @@ process, supervised with a timeout; a crash, OOM kill, or hang in the
 subprocess costs one timeout and an in-process fallback solve instead of
 the parent.  Solves are deterministic, so the subprocess result is
 bit-identical to the in-process one.
+
+When the variable is unset, :func:`default_subproc_cells` supplies a
+threshold calibrated to this machine's RAM (see its docstring for the
+formula); setting it to ``0``/``off``/``no``/``false``/``none`` disables
+supervision entirely, and a positive integer overrides the calibration.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+import os
+from typing import List, Optional, Sequence
 
 from repro.thermal.solver import ThermalResult, ThermalSolver
+
+#: ``REPRO_THERMAL_SUBPROC_CELLS`` values that disable supervision.
+DISABLED_VALUES = frozenset({"0", "off", "no", "false", "none"})
+
+#: Measured SuperLU fill constant: the LU factors of the thermal
+#: conductance matrix occupy about ``LU_FILL_BYTES * cells ** (4/3)``
+#: bytes (12 bytes per stored nonzero; measured 952-3419 bytes/cell over
+#: 4k-65k cell systems across the planar and 3D stacks, with the 4/3
+#: exponent fitting the observed growth of fill-in with system size;
+#: 100 covers the worst case, the 10-layer 3D stack).
+LU_FILL_BYTES = 100.0
+
+#: Fraction of physical RAM one in-process factorization may claim
+#: before the solve is routed to a crash-isolated subprocess.
+RAM_FRACTION = 0.25
+
+#: Never supervise systems smaller than this: sub-65k-cell solves (all
+#: default and fast-test grids) take milliseconds and cannot threaten
+#: the parent even on tiny machines, so the subprocess round-trip would
+#: be pure overhead.
+MIN_SUBPROC_CELLS = 65_536
+
+#: Threshold used when physical RAM cannot be queried (non-POSIX).
+FALLBACK_SUBPROC_CELLS = 250_000
+
+
+def physical_ram_bytes() -> Optional[int]:
+    """Physical RAM in bytes, or ``None`` when unqueryable."""
+    try:
+        page = os.sysconf("SC_PAGE_SIZE")
+        pages = os.sysconf("SC_PHYS_PAGES")
+    except (AttributeError, ValueError, OSError):
+        return None
+    if page <= 0 or pages <= 0:
+        return None
+    return page * pages
+
+
+def default_subproc_cells() -> int:
+    """Calibrated default for ``REPRO_THERMAL_SUBPROC_CELLS``.
+
+    Supervision pays a subprocess round-trip to protect the parent from
+    an OOM abort, so the threshold is the system size whose factorization
+    footprint reaches :data:`RAM_FRACTION` of physical RAM.  Inverting
+    the measured footprint model ``bytes = LU_FILL_BYTES * cells**(4/3)``
+    gives::
+
+        cells = (RAM_FRACTION * ram_bytes / LU_FILL_BYTES) ** (3/4)
+
+    clamped below by :data:`MIN_SUBPROC_CELLS`.  On a 4 GiB machine this
+    is about 180k cells; on 128 GiB about 2.4M cells — the paper-default
+    64x64 grids (16k-41k cells) always solve in-process.
+    """
+    ram = physical_ram_bytes()
+    if ram is None:
+        return FALLBACK_SUBPROC_CELLS
+    cells = (RAM_FRACTION * ram / LU_FILL_BYTES) ** 0.75
+    return max(int(cells), MIN_SUBPROC_CELLS)
 
 
 def solve_batches_task(

@@ -18,10 +18,24 @@ from typing import Optional, Tuple
 from repro.isa.opcodes import OpClass
 from repro.isa.values import is_low_width, to_unsigned
 
+#: Maximum architectural sources per instruction.  The columnar trace
+#: form (:mod:`repro.isa.compiled`) allots exactly this many source
+#: register/value columns; a trace exceeding it is not columnar-
+#: representable and replays on the object path.
+MAX_SOURCES = 2
+
 
 @dataclass(frozen=True)
 class TraceInstruction:
     """One committed dynamic instruction.
+
+    Columnar representability: the compiled trace form stores register
+    ids as int16, all values (``result``, ``src_values``, ``mem_addr``,
+    ``mem_value``, ``target``, ``pc``) as unsigned 64-bit, and at most
+    :data:`MAX_SOURCES` sources.  Instructions within those bounds —
+    everything the emulator emits — round-trip exactly through
+    :func:`repro.isa.compiled.compile_trace` /
+    :meth:`repro.isa.compiled.CompiledTrace.to_trace`.
 
     Attributes
     ----------

@@ -46,6 +46,30 @@ class Trace:
     def stats(self) -> "TraceStats":
         return TraceStats.from_instructions(self.instructions)
 
+    def compiled(self):
+        """The columnar form of this trace, or ``None`` if uncompilable.
+
+        Compilation is memoized on the instance: the fast simulation path
+        calls this once per (trace, config) pair, but six configs share
+        one trace object in a sweep.  A trace the fixed-width columns
+        cannot represent memoizes ``None`` so the object path is used
+        without re-attempting compilation.
+        """
+        compiled = self.__dict__.get("_compiled", _UNCOMPILED)
+        if compiled is _UNCOMPILED:
+            from repro.isa.compiled import compile_trace, TraceCompileError
+
+            try:
+                compiled = compile_trace(self)
+            except TraceCompileError:
+                compiled = None
+            self.__dict__["_compiled"] = compiled
+        return compiled
+
+
+#: Sentinel distinguishing "never compiled" from "compilation failed".
+_UNCOMPILED = object()
+
 
 @dataclass
 class TraceStats:

@@ -10,6 +10,9 @@ naturally downstream.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 import random
 from typing import Dict, List, Optional
 
@@ -342,6 +345,33 @@ class Emulator:
         while self._flow_rng.random() > p and count < 10_000:
             count += 1
         return count
+
+
+def workload_fingerprint(
+    name: str,
+    params: WorkloadParameters,
+    length: int,
+    seed: int,
+    benchmark_class: str = "unknown",
+) -> str:
+    """Content hash identifying the trace :func:`generate_trace` would emit.
+
+    Covers everything generation depends on — the parameters, the seed,
+    the requested length, and :data:`GENERATOR_VERSION` — so it can key a
+    persistent store of generated (compiled) traces: equal fingerprints
+    guarantee byte-identical traces, and any generator change invalidates
+    every stored entry via the version bump.
+    """
+    payload = {
+        "generator": GENERATOR_VERSION,
+        "name": name,
+        "benchmark_class": benchmark_class,
+        "length": length,
+        "seed": seed,
+        "params": dataclasses.asdict(params),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 def generate_trace(

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.isa.trace import Trace
-from repro.workloads.emulator import generate_trace
+from repro.workloads.emulator import generate_trace, workload_fingerprint
 from repro.workloads.parameters import (
     BenchmarkClass,
     CLASS_PARAMETERS,
@@ -154,6 +154,25 @@ def generate(name: str, length: int = 20_000, seed: Optional[int] = None) -> Tra
     if spec is None:
         raise KeyError(f"unknown benchmark {name!r}; known: {', '.join(BENCHMARKS)}")
     return generate_trace(
+        name=name,
+        params=spec.parameters(),
+        length=length,
+        seed=spec.seed if seed is None else seed,
+        benchmark_class=spec.benchmark_class.value,
+    )
+
+
+def fingerprint(name: str, length: int = 20_000, seed: Optional[int] = None) -> str:
+    """Content hash of the trace :func:`generate` would produce.
+
+    Resolves the spec's parameters and effective seed exactly the way
+    :func:`generate` does, so equal fingerprints mean byte-identical
+    traces; used to key the on-disk compiled-trace store.
+    """
+    spec = BENCHMARKS.get(name)
+    if spec is None:
+        raise KeyError(f"unknown benchmark {name!r}; known: {', '.join(BENCHMARKS)}")
+    return workload_fingerprint(
         name=name,
         params=spec.parameters(),
         length=length,

@@ -1,0 +1,122 @@
+"""The columnar fast path is byte-identical to the reference loop.
+
+``SIMULATOR_VERSION`` was *not* bumped for the columnar pre-decode: the
+on-disk result cache serves entries across both paths, so equality must
+hold at pickle-byte granularity — every counter, every dict's insertion
+order, every stall attribution.  These tests pin that contract across
+all six paper configurations, every width-predictor kind, herding on and
+off, and degenerate trace shapes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.cpu.config import WidthPredictorKind
+from repro.cpu.pipeline import (
+    ENV_COLUMNAR,
+    TimingSimulator,
+    columnar_enabled,
+    simulate,
+)
+from repro.cpu.predecode import predecode
+from repro.experiments.context import _all_configurations
+from repro.isa.instruction import TraceInstruction
+from repro.isa.opcodes import OpClass
+from repro.isa.trace import Trace
+from repro.workloads.suite import generate
+
+WARMUP = 500
+
+
+def _reference(trace, config, warmup=WARMUP):
+    return TimingSimulator(config).run(trace, warmup=warmup)
+
+
+def _columnar(trace, config, warmup=WARMUP):
+    compiled = trace.compiled()
+    assert compiled is not None
+    return TimingSimulator(config, batched=True).run_compiled(
+        predecode(compiled), warmup=warmup
+    )
+
+
+def _assert_identical(trace, config, warmup=WARMUP):
+    ref = _reference(trace, config, warmup=warmup)
+    col = _columnar(trace, config, warmup=warmup)
+    assert pickle.dumps(col) == pickle.dumps(ref), config.name
+
+
+class TestAllConfigurations:
+    @pytest.mark.parametrize("label", list(_all_configurations()))
+    def test_config_byte_identical(self, label, mpeg2_trace):
+        """Covers herding off (Base/Pipe/Fast) and on (TH/3D/3D-noTH is
+        off again) across the full paper configuration matrix."""
+        config = _all_configurations()[label]
+        _assert_identical(mpeg2_trace, config, warmup=2_000)
+
+    def test_memory_bound_trace(self, yacr2_trace):
+        configs = _all_configurations()
+        _assert_identical(yacr2_trace, configs["3D"], warmup=2_000)
+        _assert_identical(yacr2_trace, configs["Base"], warmup=2_000)
+
+
+class TestPredictorKinds:
+    @pytest.mark.parametrize("kind", list(WidthPredictorKind))
+    def test_predictor_kind_byte_identical(self, kind, yacr2_trace):
+        config = dataclasses.replace(
+            _all_configurations()["TH"], width_predictor_kind=kind
+        )
+        _assert_identical(yacr2_trace, config, warmup=2_000)
+
+
+class TestShortTraces:
+    def test_tiny_trace(self):
+        trace = generate("adpcm", length=40)
+        _assert_identical(trace, _all_configurations()["TH"], warmup=0)
+
+    def test_single_instruction(self):
+        trace = Trace("one", [
+            TraceInstruction(pc=0x1000, op=OpClass.IALU, dst=1, result=3),
+        ])
+        _assert_identical(trace, _all_configurations()["Base"], warmup=0)
+
+    def test_warmup_bound_error_matches(self):
+        trace = generate("adpcm", length=40)
+        config = _all_configurations()["Base"]
+        with pytest.raises(ValueError, match="warmup"):
+            _reference(trace, config, warmup=40)
+        with pytest.raises(ValueError, match="warmup"):
+            _columnar(trace, config, warmup=40)
+
+
+class TestDispatch:
+    def test_simulate_uses_columnar_by_default(self, monkeypatch):
+        monkeypatch.delenv(ENV_COLUMNAR, raising=False)
+        assert columnar_enabled()
+
+    def test_env_gate_disables_columnar(self, monkeypatch):
+        for value in ("0", "off", "no", "false"):
+            monkeypatch.setenv(ENV_COLUMNAR, value)
+            assert not columnar_enabled()
+        monkeypatch.setenv(ENV_COLUMNAR, "1")
+        assert columnar_enabled()
+
+    def test_simulate_accepts_compiled_trace(self):
+        trace = generate("adpcm", length=600)
+        config = _all_configurations()["TH"]
+        via_trace = simulate(trace, config, warmup=100)
+        via_compiled = simulate(trace.compiled(), config, warmup=100)
+        assert pickle.dumps(via_compiled) == pickle.dumps(via_trace)
+
+    def test_gated_simulate_matches_reference(self, monkeypatch):
+        trace = generate("adpcm", length=600)
+        config = _all_configurations()["Base"]
+        monkeypatch.setenv(ENV_COLUMNAR, "0")
+        gated = simulate(trace, config, warmup=100)
+        monkeypatch.setenv(ENV_COLUMNAR, "1")
+        columnar = simulate(trace, config, warmup=100)
+        assert pickle.dumps(gated) == pickle.dumps(columnar)

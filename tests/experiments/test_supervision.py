@@ -190,10 +190,23 @@ class TestThermalSupervision:
         assert result.block_peak == clean.thermal("adpcm", "Base").block_peak
 
     def test_threshold_from_environment(self, monkeypatch):
+        from repro.experiments.supervised import (
+            MIN_SUBPROC_CELLS,
+            default_subproc_cells,
+        )
+
         monkeypatch.setenv(ENV_THERMAL_SUBPROC, "500000")
         assert ExperimentContext(TINY, cache=None).thermal_subproc_cells == 500_000
+        # Unset: the RAM-calibrated default, never below the floor (which
+        # keeps every fast-test grid in-process).
         monkeypatch.delenv(ENV_THERMAL_SUBPROC)
-        assert ExperimentContext(TINY, cache=None).thermal_subproc_cells is None
+        calibrated = ExperimentContext(TINY, cache=None).thermal_subproc_cells
+        assert calibrated == default_subproc_cells()
+        assert calibrated >= MIN_SUBPROC_CELLS
+        # Explicit opt-out values disable supervision entirely.
+        for value in ("0", "off", "no", "false", "none"):
+            monkeypatch.setenv(ENV_THERMAL_SUBPROC, value)
+            assert ExperimentContext(TINY, cache=None).thermal_subproc_cells is None
 
     def test_small_grids_stay_in_process(self):
         context = ExperimentContext(TINY, jobs=1, cache=None)

@@ -1,0 +1,172 @@
+"""Columnar trace compilation: exact round-trips and strictness.
+
+The compiled form is only allowed to exist if it is *exact*: every
+instruction must survive ``compile_trace`` -> ``to_trace`` unchanged,
+traces outside the fixed-width layout must refuse to compile (callers
+then use the object path), and damaged on-disk entries must raise
+``TraceReadError`` rather than deliver garbage into a simulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.isa.compiled import (
+    TRACE_DTYPE,
+    TRACE_SCHEMA_VERSION,
+    TraceCompileError,
+    TraceReadError,
+    compile_trace,
+    meta_path_for,
+    read_compiled,
+    write_compiled,
+)
+from repro.isa.instruction import MAX_SOURCES, TraceInstruction
+from repro.isa.opcodes import OpClass
+from repro.isa.trace import Trace
+from repro.workloads.suite import generate
+
+
+def _roundtrip(trace: Trace) -> Trace:
+    return compile_trace(trace).to_trace()
+
+
+class TestRoundTrip:
+    def test_generated_trace_roundtrips_exactly(self):
+        trace = generate("mpeg2", length=2_000)
+        back = _roundtrip(trace)
+        assert back.name == trace.name
+        assert back.benchmark_class == trace.benchmark_class
+        assert back.seed == trace.seed
+        assert back.instructions == trace.instructions
+
+    def test_every_benchmark_class_is_compilable(self):
+        for name in ("gzip", "swim", "adpcm", "susan", "yacr2", "blast"):
+            trace = generate(name, length=400)
+            assert _roundtrip(trace).instructions == trace.instructions
+
+    def test_optional_fields_preserve_none(self):
+        insts = [
+            TraceInstruction(pc=0x1000, op=OpClass.IALU, dst=3, result=7,
+                             srcs=(1, 2), src_values=(5, 9)),
+            TraceInstruction(pc=0x1004, op=OpClass.BRANCH, taken=False),
+            TraceInstruction(pc=0x1008, op=OpClass.STORE, mem_addr=0x2000,
+                             mem_value=None, srcs=(3,), src_values=(7,)),
+            TraceInstruction(pc=0x100C, op=OpClass.NOP),
+        ]
+        back = _roundtrip(Trace("edge", insts, "unknown", seed=None))
+        for a, b in zip(back.instructions, insts):
+            assert a == b
+        assert back.instructions[1].target is None
+        assert back.instructions[2].mem_value is None
+        assert back.instructions[3].dst is None
+
+    def test_width_boundary_values_roundtrip(self):
+        # The 16-bit significance boundary (2**15) and both u64 extremes.
+        values = [0, (1 << 15) - 1, 1 << 15, (1 << 64) - (1 << 15),
+                  (1 << 64) - (1 << 15) - 1, (1 << 64) - 1]
+        insts = [
+            TraceInstruction(pc=0x1000 + 4 * i, op=OpClass.IALU, dst=1,
+                             result=v, srcs=(2,), src_values=(v,))
+            for i, v in enumerate(values)
+        ]
+        back = _roundtrip(Trace("widths", insts))
+        for inst, v in zip(back.instructions, values):
+            assert inst.result == v
+            assert inst.src_values == (v,)
+
+    def test_empty_trace(self):
+        compiled = compile_trace(Trace("empty", []))
+        assert len(compiled) == 0
+        assert compiled.to_trace().instructions == []
+
+
+class TestStrictness:
+    def test_too_many_sources_refuses(self):
+        inst = TraceInstruction(pc=0x1000, op=OpClass.IALU,
+                                srcs=(1, 2, 3), src_values=(1, 2, 3))
+        with pytest.raises(TraceCompileError, match=f"{MAX_SOURCES}-column"):
+            compile_trace(Trace("wide", [inst]))
+
+    def test_value_outside_u64_refuses(self):
+        inst = TraceInstruction(pc=0x1000, op=OpClass.IALU, dst=1,
+                                result=1 << 64)
+        with pytest.raises(TraceCompileError, match="64-bit"):
+            compile_trace(Trace("big", [inst]))
+
+    def test_uncompilable_trace_memoizes_none(self):
+        inst = TraceInstruction(pc=0x1000, op=OpClass.IALU,
+                                srcs=(1, 2, 3), src_values=(1, 2, 3))
+        trace = Trace("wide", [inst])
+        assert trace.compiled() is None
+        assert trace.compiled() is None  # memoized, no re-attempt
+
+    def test_compilable_trace_memoizes_instance(self):
+        trace = generate("adpcm", length=200)
+        assert trace.compiled() is trace.compiled()
+
+
+class TestOnDisk:
+    def _write(self, tmp_path, length=300):
+        compiled = compile_trace(generate("adpcm", length=length))
+        npy = tmp_path / "entry.npy"
+        write_compiled(compiled, npy)
+        return compiled, npy
+
+    def test_write_read_roundtrip_mmap(self, tmp_path):
+        compiled, npy = self._write(tmp_path)
+        loaded = read_compiled(npy)
+        assert loaded.name == compiled.name
+        assert loaded.benchmark_class == compiled.benchmark_class
+        assert loaded.seed == compiled.seed
+        assert loaded.array.dtype == TRACE_DTYPE
+        assert isinstance(loaded.array, np.memmap)
+        assert np.array_equal(np.asarray(loaded.array), compiled.array)
+        assert loaded.to_trace().instructions == \
+            compiled.to_trace().instructions
+
+    def test_missing_meta_raises(self, tmp_path):
+        _, npy = self._write(tmp_path)
+        (tmp_path / "entry.json").unlink()
+        with pytest.raises(TraceReadError, match="metadata"):
+            read_compiled(npy)
+
+    def test_schema_drift_raises(self, tmp_path):
+        import json
+
+        _, npy = self._write(tmp_path)
+        meta_path = tmp_path / "entry.json"
+        meta = json.loads(meta_path.read_text())
+        meta["schema"] = TRACE_SCHEMA_VERSION + 1
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(TraceReadError, match="schema"):
+            read_compiled(npy)
+
+    def test_corrupt_array_raises(self, tmp_path):
+        _, npy = self._write(tmp_path)
+        npy.write_bytes(b"this is not a npy file")
+        with pytest.raises(TraceReadError):
+            read_compiled(npy)
+
+    def test_truncated_array_raises(self, tmp_path):
+        _, npy = self._write(tmp_path)
+        data = npy.read_bytes()
+        npy.write_bytes(data[: len(data) // 2])
+        with pytest.raises(TraceReadError):
+            read_compiled(npy)
+
+    def test_length_mismatch_raises(self, tmp_path):
+        import json
+
+        _, npy = self._write(tmp_path)
+        meta_path = tmp_path / "entry.json"
+        meta = json.loads(meta_path.read_text())
+        meta["length"] += 1
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(TraceReadError, match="rows"):
+            read_compiled(npy)
+
+    def test_meta_path_for(self):
+        assert meta_path_for("/x/abc.npy") == "/x/abc.json"
+        assert meta_path_for("/x/abc") == "/x/abc.json"
