@@ -36,13 +36,14 @@ from repro.core.dcache_encoding import PartialValueCache
 from repro.core.lsq_pam import PartialAddressMemoization
 from repro.core.register_file import PartitionedRegisterFile
 from repro.core.scheduler_allocation import EntryStackedScheduler
-from repro.core.width_prediction import WidthPredictor
+from repro.core.width_prediction import WidthPredictor, WidthPredictorStats
 from repro.cpu.branch_predictor import FrontEndPredictor
 from repro.cpu.caches import build_hierarchy
 from repro.cpu.config import CPUConfig
-from repro.cpu.predecode import PreDecodedTrace, predecode, RETURN_CODE
+from repro.cpu.predecode import PreDecodedTrace, predecode
 from repro.cpu.results import SimulationResult, StallBreakdown
-from repro.isa.compiled import CompiledTrace
+from repro.cpu.wavefront import build_plan
+from repro.isa.compiled import CompiledTrace, OPCLASS_LIST
 from repro.isa.instruction import TraceInstruction
 from repro.isa.opcodes import OpClass, OP_LATENCY
 from repro.isa.trace import Trace
@@ -91,6 +92,37 @@ class _Pool:
 
     def earliest_free(self) -> int:
         return self._free[0]
+
+
+def _build_pools(cfg: CPUConfig):
+    """Functional-unit pools plus the OpClass -> pool issue map.
+
+    Shared by :meth:`TimingSimulator.run` and
+    :meth:`TimingSimulator.run_compiled`.  LOAD stays a special case
+    (either memory port, whichever frees sooner) handled inline by the
+    issue stage.
+    """
+    pools = {
+        "int_alu": _Pool(cfg.int_alu_units),
+        "int_shift": _Pool(cfg.int_shift_units),
+        "int_mul": _Pool(cfg.int_mul_units),
+        "fp_add": _Pool(cfg.fp_add_units),
+        "fp_mul": _Pool(cfg.fp_mul_units),
+        "fp_div": _Pool(cfg.fp_div_units),
+        "ld_st": _Pool(cfg.load_store_ports),
+        "ld_only": _Pool(cfg.load_only_ports),
+    }
+    pool_for_op = {
+        OpClass.STORE: pools["ld_st"],
+        OpClass.ISHIFT: pools["int_shift"],
+        OpClass.IMUL: pools["int_mul"],
+        OpClass.FADD: pools["fp_add"],
+        OpClass.FMUL: pools["fp_mul"],
+        OpClass.FDIV: pools["fp_div"],
+    }
+    for op in OpClass:
+        pool_for_op.setdefault(op, pools["int_alu"])
+    return pools, pool_for_op
 
 
 class TimingSimulator:
@@ -271,28 +303,7 @@ class TimingSimulator:
         # simulated cycle for the whole trace.
         issued_in_cycle: Dict[int, int] = {}
         issue_prune_at = 4096
-        pools = {
-            "int_alu": _Pool(cfg.int_alu_units),
-            "int_shift": _Pool(cfg.int_shift_units),
-            "int_mul": _Pool(cfg.int_mul_units),
-            "fp_add": _Pool(cfg.fp_add_units),
-            "fp_mul": _Pool(cfg.fp_mul_units),
-            "fp_div": _Pool(cfg.fp_div_units),
-            "ld_st": _Pool(cfg.load_store_ports),
-            "ld_only": _Pool(cfg.load_only_ports),
-        }
-        # Direct OpClass -> pool map for the issue stage; LOAD stays a
-        # special case (either memory port) handled inline below.
-        pool_for_op = {
-            OpClass.STORE: pools["ld_st"],
-            OpClass.ISHIFT: pools["int_shift"],
-            OpClass.IMUL: pools["int_mul"],
-            OpClass.FADD: pools["fp_add"],
-            OpClass.FMUL: pools["fp_mul"],
-            OpClass.FDIV: pools["fp_div"],
-        }
-        for _op in OpClass:
-            pool_for_op.setdefault(_op, pools["int_alu"])
+        pools, pool_for_op = _build_pools(cfg)
         ld_st_pool, ld_only_pool = pools["ld_st"], pools["ld_only"]
         # Miss-status holding registers bound memory-level parallelism:
         # at most mshr_entries DRAM misses may be in flight at once.
@@ -658,68 +669,63 @@ class TimingSimulator:
 
     def run_compiled(self, pre: PreDecodedTrace, warmup: int = 0,
                      prewarm: bool = True) -> SimulationResult:
-        """The columnar twin of :meth:`run`.
+        """The batched wavefront twin of :meth:`run`.
 
-        Consumes the pre-decoded columns of a compiled trace instead of
-        instruction objects.  Every stage performs the same state updates
-        in the same order as :meth:`run` — activity recording sequence,
-        cache/LRU evolution, predictor training, dict insertion orders —
-        so the returned :class:`SimulationResult` pickles to the same
-        bytes (the equivalence tests enforce this).  The differences are
-        purely mechanical: loop-invariant per-instruction work comes from
-        the precomputed columns, the ROB/LQ/SQ free-at heaps become
-        deques (their pushes are non-decreasing, so popleft == heappop),
-        the RS free-at multiset becomes a bisect-sorted list (its
-        occupancy scans become binary searches), stall counters live in
-        locals, and activity accumulates through the batched counters.
+        Everything per-instruction that does not depend on dynamic cycle
+        counts is precomputed by :mod:`repro.cpu.wavefront` into plan
+        columns (front-end outcomes, cache-miss latencies, BTB bubbles)
+        and static result pieces (branch/cache stats, herding tallies,
+        position-ordered activity counts).  The loop below keeps only the
+        genuinely serial resources: free-at queues for ROB/RS/LQ/SQ
+        entries, per-cycle fetch/dispatch/issue/commit bandwidth, MSHR
+        waits, the dependency scoreboard, and the width-state machines
+        whose decisions feed timing (predictor counters, register
+        memoization bits, L1D encodings).  It performs no activity
+        recording and no model method calls; the handful of
+        width-dependent activity splits are tallied in locals and merged
+        with the static counts by
+        :meth:`~repro.cpu.wavefront.WavefrontPlan.build_activity`, which
+        reproduces the reference loop's module creation order.  The
+        returned :class:`SimulationResult` pickles byte-identically to
+        :meth:`run`'s (the equivalence tests enforce this).
         """
         cfg = self.config
-        counters = self.counters
         n = pre.n
         if warmup >= n:
             raise ValueError(
                 f"warmup ({warmup}) must be smaller than the trace ({n})"
             )
-        if prewarm:
-            l2 = self.hierarchy.l2
-            l2_install = l2.install_line
-            for line in pre.prewarm_lines(l2.line_bytes):
-                l2_install(line)
         th = cfg.thermal_herding
-        if th:
-            from repro.core.static_width import StaticWidthPredictor
-            if isinstance(self.width_predictor, StaticWidthPredictor):
-                self.width_predictor = StaticWidthPredictor(pre.width_profile())
+        plan = build_plan(pre, cfg, warmup, prewarm)
 
-        # Column locals (loop-invariant per-instruction facts).
+        # Plan columns: the timing consequences of precomputed outcomes.
+        col_new_line = plan.new_line
+        col_fetch_extra = plan.fetch_extra
+        col_bubbles = plan.bubbles
+        col_mispred = plan.mispredicted
+        col_load_cycles = plan.load_cycles
+        col_load_dram = plan.load_dram
+        col_memory_miss = plan.memory_miss
+        col_dc_comp = plan.dc_load_comp
+        writers0, writers1 = pre.writers()
+
+        # Trace columns.
         pcs = pre.pcs
-        ops = pre.ops
         codes = pre.codes
-        fetch_lines = pre.fetch_lines
-        col_is_control = pre.is_control
         col_is_memory = pre.is_memory
         col_is_intdp = pre.is_intdp
-        col_is_fp = pre.is_fp
         col_is_load = pre.is_load
         col_is_store = pre.is_store
         col_srcs = pre.srcs
-        col_svals = pre.svals
+        col_svals_low = pre.svals_low
         col_dsts = pre.dsts
-        col_results = pre.results
-        col_mem_addrs = pre.mem_addrs
-        col_mvz = pre.mem_values_or_zero
-        col_takens = pre.takens
-        col_targets = pre.targets
         col_operands_low = pre.operands_low
         col_result_low = pre.result_low
         col_actual_low = pre.actual_low
         col_latency = pre.latency
         col_busy = pre.busy
-        pc_lines, pc_pages, mem_lines, mem_pages = pre.geometry(
-            cfg.line_bytes, cfg.page_bytes
-        )
 
-        # Hoisted config scalars and bound methods.
+        # Hoisted config scalars.
         fetch_width = cfg.fetch_width
         ifq_size = cfg.ifq_size
         front_depth = cfg.front_depth
@@ -730,111 +736,106 @@ class TimingSimulator:
         sq_size = cfg.sq_size
         issue_width = cfg.issue_width
         commit_width = cfg.commit_width
-        btb_miss_bubble = cfg.btb_miss_bubble
         redirect_penalty = cfg.redirect_penalty
 
-        counters_record = counters.record
-        hierarchy = self.hierarchy
-        l1_latency = hierarchy.l1_latency
-        fetch_line = hierarchy.instruction_fetch_line
-        load_line = hierarchy.load_line
-        store_line = hierarchy.store_line
-        frontend = self.frontend
-        frontend_process = frontend.process
-        memoized = frontend.memoized_btb is not None
-
+        # Width-state machines, inlined.  Predictor counters, the sticky
+        # full-width overrides of the static profile, and the register
+        # memoization bits all evolve *with* loop state (stalls consult
+        # them, corrections write them back), so they stay in the loop —
+        # as plain dict/list operations instead of model calls.
+        dynamic_kind = static_kind = oracle_kind = False
+        wp_table: List[int] = []
+        wp_index: List[int] = []
+        wp_threshold = wp_max = 0
+        wp_profile_get = None
+        wp_merged: Dict[int, bool] = {}
+        top_first = True
+        sched_cap = 1
         if th:
-            width_predictor = self.width_predictor
-            prime = getattr(width_predictor, "prime", None)
-            wp_predict = width_predictor.predict_low_width
-            wp_correct = width_predictor.correct_prediction
-            wp_train = width_predictor.record_and_train
-            register_file = self.register_file
-            rf_read_group = register_file.read_group
-            rf_value_is_low = register_file.value_is_low
-            rf_write = register_file.write
-            alu_execute = self.alu.execute
-            bypass_broadcast = self.bypass.broadcast
-            sched_die_for_occupancy = self.scheduler.die_for_occupancy
-            sched_broadcast = self.scheduler.broadcast_with_occupancy
-            pam_load = self.pam.load_broadcast
-            pam_store = self.pam.store_broadcast
-            dc_record_load = self.dcache_model.record_load
-            dc_record_fill = self.dcache_model.record_fill
-            dc_record_store = self.dcache_model.record_store
+            from repro.core.scheduler_allocation import AllocationPolicy
+            from repro.core.static_width import StaticWidthPredictor
+            from repro.cpu.config import WidthPredictorKind
+
+            kind = cfg.width_predictor_kind
+            if kind is WidthPredictorKind.ORACLE:
+                oracle_kind = True
+            elif isinstance(self.width_predictor, StaticWidthPredictor):
+                static_kind = True
+                self.width_predictor = StaticWidthPredictor(pre.width_profile())
+                # Profile lookups and the sticky full-width overrides
+                # merge into one dict: a correction pins its PC to False.
+                wp_merged = dict(pre.width_profile())
+                wp_profile_get = wp_merged.get
+            else:
+                dynamic_kind = True
+                wp = self.width_predictor
+                wp_table = wp._table
+                wp_threshold = wp._threshold
+                wp_max = wp._max_count
+                wp_index = pre.pred_index(wp._mask)
+            top_first = cfg.scheduler_policy is AllocationPolicy.TOP_FIRST
+            sched_cap = rs_size // 4
 
         # Fetch state
         next_fetch_floor = 0
         fetch_cycle = 0
         fetched_in_cycle = 0
-        current_line = -1
-        redirect_pending = False
 
         # Dispatch state
         dispatch_floor = 0
         last_dispatch_cycle = -1
         dispatched_in_cycle = 0
 
-        # Resource free-at queues.  ROB/LQ/SQ entries free at commit
-        # cycles, which this loop produces in non-decreasing order, so a
-        # FIFO pop is the heap's minimum.  RS entries free at issue+1,
-        # which is not monotonic; a sorted list keeps pop-min O(1) and
-        # turns the occupancy count ("entries freeing after cycle C")
-        # into a binary search.
+        # Resource free-at queues.  ROB/LQ/SQ free-at cycles are produced
+        # in non-decreasing order, so FIFO popleft == heappop; RS free-at
+        # cycles are not monotonic, so a bisect-sorted list keeps pop-min
+        # O(1) and turns occupancy counts into binary searches.
         rob_q = deque()
         rs_list: List[int] = []
         lq_q = deque()
         sq_q = deque()
-        ifq_ring: List[int] = []  # dispatch cycles of the last ifq_size insts
+        ifq_ring: List[int] = []  # dispatch cycles of the trailing window
 
         # Issue state (same pruning discipline as the reference loop).
         issued_in_cycle: Dict[int, int] = {}
         issue_prune_at = 4096
-        pools = {
-            "int_alu": _Pool(cfg.int_alu_units),
-            "int_shift": _Pool(cfg.int_shift_units),
-            "int_mul": _Pool(cfg.int_mul_units),
-            "fp_add": _Pool(cfg.fp_add_units),
-            "fp_mul": _Pool(cfg.fp_mul_units),
-            "fp_div": _Pool(cfg.fp_div_units),
-            "ld_st": _Pool(cfg.load_store_ports),
-            "ld_only": _Pool(cfg.load_only_ports),
-        }
-        pool_for_op = {
-            OpClass.STORE: pools["ld_st"],
-            OpClass.ISHIFT: pools["int_shift"],
-            OpClass.IMUL: pools["int_mul"],
-            OpClass.FADD: pools["fp_add"],
-            OpClass.FMUL: pools["fp_mul"],
-            OpClass.FDIV: pools["fp_div"],
-        }
-        for _op in OpClass:
-            pool_for_op.setdefault(_op, pools["int_alu"])
-        from repro.isa.compiled import OPCLASS_LIST
+        pools, pool_for_op = _build_pools(cfg)
         pool_by_code = [pool_for_op[op] for op in OPCLASS_LIST]
         ld_st_pool, ld_only_pool = pools["ld_st"], pools["ld_only"]
         ld_st_free = ld_st_pool.earliest_free
         ld_only_free = ld_only_pool.earliest_free
         mshr_acquire = _Pool(cfg.mshr_entries).acquire
 
-        # Register scoreboard: cycle each architectural register is ready.
-        reg_ready: Dict[int, int] = {}
-        reg_ready_get = reg_ready.get
+        # Dependency scoreboard: completion cycle per producing
+        # instruction.  The writer columns map each source operand slot to
+        # its producer index, replacing the per-register ready dict.
+        completes = [0] * n
+        # Register width memoization bits (the partitioned register
+        # file's lazily installed state).
+        memo: Dict[int, bool] = {}
+        memo_get = memo.get
 
         # Commit state
         last_commit_cycle = 0
         committed_in_cycle = 0
         cycle_base = 0
 
-        # Stall accounting in locals; stall_total mirrors
-        # StallBreakdown.total so the CPI-stack category test stays a
-        # single int comparison.
+        # Dynamic tallies: stall counters, width-dependent activity
+        # splits, and predictor outcome counts — everything the static
+        # plan cannot know.  All reset at the warmup boundary.
         rf_group_stalls = 0
         alu_input_stalls = 0
         alu_reexecutions = 0
         dcache_width_stalls = 0
         btb_memoization_stalls = 0
-        stall_total = 0
+        rf1 = rf4 = 0
+        first_rf = -1
+        alu1 = alu4 = 0
+        l1d1 = l1d4 = 0
+        dc_herded = dc_unsafe = 0
+        wp_hits = wp_unsafe = wp_safe = 0
+        sched_die = [0, 0, 0, 0]
+        sched_rr = 0  # persists across the warmup boundary, like the model
 
         cpi_stack: Dict[str, int] = {}
         prev_commit_for_stack = 0
@@ -845,87 +846,73 @@ class TimingSimulator:
             if fault_hook is not None:
                 fault_hook(index)
             if index == warmup and warmup:
-                self._reset_measurement()
                 rf_group_stalls = 0
                 alu_input_stalls = 0
                 alu_reexecutions = 0
                 dcache_width_stalls = 0
                 btb_memoization_stalls = 0
-                stall_total = 0
+                rf1 = rf4 = 0
+                first_rf = -1
+                alu1 = alu4 = 0
+                l1d1 = l1d4 = 0
+                dc_herded = dc_unsafe = 0
+                wp_hits = wp_unsafe = wp_safe = 0
+                sched_die = [0, 0, 0, 0]
                 cycle_base = last_commit_cycle
                 cpi_stack = {}
                 prev_commit_for_stack = last_commit_cycle
-            stalls_before = stall_total
+            stalled = False
 
             # ---------------- FETCH ---------------- #
-            line = fetch_lines[index]
-            new_line = line != current_line or redirect_pending
-            if fetched_in_cycle >= fetch_width or new_line:
+            new_line = col_new_line[index]
+            if new_line or fetched_in_cycle >= fetch_width:
                 fetch_cycle += 1
                 fetched_in_cycle = 0
             if fetch_cycle < next_fetch_floor:
                 fetch_cycle = next_fetch_floor
-            # IFQ back-pressure: fetch may only run ifq_size ahead of dispatch.
             if len(ifq_ring) >= ifq_size:
                 floor = ifq_ring[-ifq_size]
                 if fetch_cycle < floor:
                     fetch_cycle = floor
             frontend_miss = False
             if new_line:
-                access_cycles = fetch_line(pc_lines[index], pc_pages[index])
-                if access_cycles > l1_latency:
-                    # Miss: bubble until the line arrives.
-                    fetch_cycle += access_cycles - l1_latency
+                extra = col_fetch_extra[index]
+                if extra:
+                    fetch_cycle += extra
                     frontend_miss = True
-                current_line = line
-                redirect_pending = False
             fetched_in_cycle += 1
             if next_fetch_floor < fetch_cycle:
                 next_fetch_floor = fetch_cycle
 
-            # Front-end control flow.
-            mispredicted = False
-            if col_is_control[index]:
-                taken = col_takens[index]
-                outcome = frontend_process(
-                    ops[index], pcs[index], taken, col_targets[index]
-                )
-                mispredicted = outcome.mispredicted or (taken and not outcome.target_known)
-                frontend_bubbles = outcome.extra_bubbles
-                if taken and not mispredicted and codes[index] != RETURN_CODE \
-                        and not outcome.target_known:
-                    frontend_bubbles += btb_miss_bubble
-                if taken:
-                    redirect_pending = True
-                if frontend_bubbles:
-                    floor = fetch_cycle + frontend_bubbles
-                    if next_fetch_floor < floor:
-                        next_fetch_floor = floor
-                    if memoized:
-                        btb_memoization_stalls += outcome.extra_bubbles
-                        stall_total += outcome.extra_bubbles
+            # Front-end bubbles (memoized-BTB far targets; herding only).
+            bubbles = col_bubbles[index]
+            if bubbles:
+                floor = fetch_cycle + bubbles
+                if next_fetch_floor < floor:
+                    next_fetch_floor = floor
+                btb_memoization_stalls += bubbles
+                stalled = True
 
             # ---------------- DECODE / WIDTH PREDICT ---------------- #
-            counters_record("rename", NUM_DIES)
-            counters_record("fetch_queue", NUM_DIES)
-            predicted_low = False
-            actual_low = False
-            operands_low = col_operands_low[index]
-            result_low = col_result_low[index]
             intdp = col_is_intdp[index]
-            if th and intdp:
-                # The per-op actual width class (data value for memory
-                # ops, operands+result for ALU ops) is precomputed.
+            predict_width = th and intdp
+            if predict_width:
                 actual_low = col_actual_low[index]
-                if prime is not None:  # oracle variant
-                    prime(actual_low)
-                predicted_low = wp_predict(pcs[index])
+                if dynamic_kind:
+                    predicted_low = wp_table[wp_index[index]] < wp_threshold
+                elif oracle_kind:
+                    predicted_low = actual_low
+                else:
+                    predicted_low = wp_profile_get(pcs[index], False)
+            else:
+                predicted_low = False
 
             # ---------------- DISPATCH ---------------- #
             dispatch_cycle = fetch_cycle + front_depth
             if dispatch_cycle < dispatch_floor:
                 dispatch_cycle = dispatch_floor
-            if dispatch_cycle == last_dispatch_cycle and dispatched_in_cycle >= decode_width:
+            if (dispatch_cycle == last_dispatch_cycle
+                    and dispatched_in_cycle >= decode_width):
                 dispatch_cycle += 1
             if rob_q and len(rob_q) >= rob_size:
                 freed = rob_q.popleft()
@@ -946,47 +933,63 @@ class TimingSimulator:
                 if freed > dispatch_cycle:
                     dispatch_cycle = freed
 
-            # Register file read; decide which operands come via bypass.
-            ready = 0
-            bypass_sourced = False
-            srcs = col_srcs[index]
-            for src in srcs:
-                src_ready = reg_ready_get(src, 0)
-                if src_ready > ready:
-                    ready = src_ready
-                if src_ready > dispatch_cycle:
-                    bypass_sourced = True
+            # Dependencies through the writer columns.
+            w = writers0[index]
+            ready = completes[w] if w >= 0 else 0
+            w = writers1[index]
+            if w >= 0:
+                other = completes[w]
+                if other > ready:
+                    ready = other
+            bypass_sourced = ready > dispatch_cycle
 
-            if th and intdp and srcs:
+            # Register file read: width memoization bits + group stalls.
+            srcs = col_srcs[index]
+            effective_low = predicted_low
+            if predict_width and srcs:
                 if is_load or is_store:
-                    # Memory ops read full-width address operands; see run().
-                    reads = [
-                        (src, value, rf_value_is_low(src, value))
-                        for src, value in zip(srcs, col_svals[index])
-                    ]
-                    rf_read_group(reads)
-                    effective_low = predicted_low
+                    # Memory ops read full-width address operands; each
+                    # read follows its operand's memoization bit, so no
+                    # register-read misprediction is possible here.
+                    for src, vlow in zip(srcs, col_svals_low[index]):
+                        m = memo_get(src)
+                        if m is None:
+                            memo[src] = m = vlow
+                        if m:
+                            rf1 += 1
+                        else:
+                            rf4 += 1
+                    if first_rf < 0:
+                        first_rf = index
                 elif not bypass_sourced:
-                    reads = [
-                        (src, value, predicted_low)
-                        for src, value in zip(srcs, col_svals[index])
-                    ]
-                    access = rf_read_group(reads)
-                    if access.stall:
-                        # One stall for the whole dispatch group.
+                    group_stall = False
+                    for src, vlow in zip(srcs, col_svals_low[index]):
+                        m = memo_get(src)
+                        if m is None:
+                            memo[src] = m = vlow
+                        if predicted_low and m:
+                            rf1 += 1
+                        else:
+                            rf4 += 1
+                            if predicted_low:
+                                group_stall = True
+                    if first_rf < 0:
+                        first_rf = index
+                    if group_stall:
+                        # One stall for the whole dispatch group; correct
+                        # the in-flight prediction (Section 3.1).
                         rf_group_stalls += 1
-                        stall_total += 1
-                        wp_correct(pcs[index])
+                        stalled = True
+                        if dynamic_kind:
+                            wp_table[wp_index[index]] = wp_max
+                        elif static_kind:
+                            wp_merged[pcs[index]] = False
                         dispatch_cycle += 1
                         effective_low = False
-                    else:
-                        effective_low = predicted_low
-                else:
-                    effective_low = predicted_low
-            else:
-                if srcs and not bypass_sourced:
-                    counters_record("register_file", NUM_DIES)
-                effective_low = predicted_low
+            elif srcs and not bypass_sourced:
+                rf4 += 1
+                if first_rf < 0:
+                    first_rf = index
 
             if dispatch_cycle != last_dispatch_cycle:
                 dispatched_in_cycle = 0
@@ -997,12 +1000,6 @@ class TimingSimulator:
             if len(ifq_ring) > ifq_size * 2:
                 del ifq_ring[:ifq_size]
 
-            # Scheduler entry allocation (occupancy by binary search over
-            # the sorted RS free-at list — same count as the linear scan).
-            if th:
-                occupancy = 1 + len(rs_list) - bisect_right(rs_list, dispatch_cycle)
-                sched_die_for_occupancy(occupancy)
-
             # ---------------- ISSUE ---------------- #
             earliest = dispatch_cycle + 1
             if ready > earliest:
@@ -1011,31 +1008,29 @@ class TimingSimulator:
             alu_stall = 0
             reexecute = False
             is_memory = col_is_memory[index]
-            if th and intdp and not is_memory:
-                execution = alu_execute(
-                    predicted_low=effective_low,
-                    operands_low=operands_low,
-                    result_low=result_low,
-                )
-                alu_stall = execution.input_stall_cycles if bypass_sourced else 0
-                reexecute = execution.reexecute
-                if alu_stall:
-                    alu_input_stalls += alu_stall
-                    stall_total += alu_stall
-                if reexecute:
+            if predict_width and not is_memory:
+                # Partitioned ALU width gating, inlined.
+                if not effective_low:
+                    alu4 += 1
+                elif not col_operands_low[index]:
+                    alu4 += 1
+                    if bypass_sourced:
+                        alu_stall = 1
+                        alu_input_stalls += 1
+                        stalled = True
+                elif not col_result_low[index]:
+                    # Output misprediction: a wasted low-width pass, then
+                    # a full-width re-execution.
+                    alu1 += 1
+                    alu4 += 1
+                    reexecute = True
                     alu_reexecutions += 1
-                    stall_total += 1
-            elif is_memory:
-                # Address generation is a dedicated full-width AGU.
-                counters_record("alu", NUM_DIES)
-            elif intdp:
-                counters_record("alu", NUM_DIES)
-            elif col_is_fp[index]:
-                counters_record("fpu", NUM_DIES)
+                    stalled = True
+                else:
+                    alu1 += 1
 
             earliest += alu_stall
             if is_load:
-                # A load may use either memory port; pick the one free sooner.
                 pool = (ld_only_pool
                         if ld_st_free() > ld_only_free()
                         else ld_st_pool)
@@ -1048,97 +1043,110 @@ class TimingSimulator:
                 count = issued_in_cycle.get(issue_cycle, 0)
             issued_in_cycle[issue_cycle] = count + 1
             if len(issued_in_cycle) >= issue_prune_at:
-                # See run(): entries at or below the dispatch floor are dead.
+                # Entries at or below the dispatch floor are dead: every
+                # future probe targets a cycle > dispatch_floor.
                 issued_in_cycle = {
-                    cycle: c
-                    for cycle, c in issued_in_cycle.items()
+                    cycle: issued
+                    for cycle, issued in issued_in_cycle.items()
                     if cycle > dispatch_floor
                 }
                 issue_prune_at = max(4096, 2 * len(issued_in_cycle))
 
-            # ---------------- EXECUTE / COMPLETE ---------------- #
+            # ---------------- EXECUTE ---------------- #
             latency = col_latency[index]
             memory_miss = False
             if is_load:
-                access_cycles, level, tlb_miss = load_line(
-                    mem_lines[index], mem_pages[index]
-                )
-                memory_miss = level != "l1" or tlb_miss
-                if level == "dram":
-                    # Wait for a free MSHR before the miss can go out.
+                access_cycles = col_load_cycles[index]
+                memory_miss = col_memory_miss[index]
+                if col_load_dram[index]:
                     miss_start = mshr_acquire(issue_cycle + 1, access_cycles)
                     latency += miss_start - (issue_cycle + 1)
                 latency += access_cycles
                 if th:
-                    pam_load(col_mem_addrs[index])
-                    outcome = dc_record_load(
-                        col_mem_addrs[index],
-                        col_mvz[index],
-                        predicted_low=effective_low,
-                    )
-                    if outcome.stall_cycles:
-                        dcache_width_stalls += outcome.stall_cycles
-                        stall_total += outcome.stall_cycles
-                        latency += outcome.stall_cycles
-                    if level != "l1":
-                        dc_record_fill()
-                else:
-                    counters_record("l1_dcache", NUM_DIES)
-                    counters_record("load_queue", NUM_DIES)
-                    counters_record("store_queue", NUM_DIES)
-            elif is_store:
-                if th:
-                    pam_store(col_mem_addrs[index])
-                else:
-                    counters_record("load_queue", NUM_DIES)
-                    counters_record("store_queue", NUM_DIES)
+                    # Partial-value-encoded L1D read, inlined.
+                    if effective_low:
+                        if col_dc_comp[index]:
+                            l1d1 += 1
+                            dc_herded += 1
+                        else:
+                            l1d4 += 1
+                            dc_unsafe += 1
+                            dcache_width_stalls += 1
+                            stalled = True
+                            latency += 1
+                    else:
+                        l1d4 += 1
 
             if reexecute:
                 latency += col_latency[index]
             complete_cycle = issue_cycle + latency
 
-            # Result broadcast: bypass + scheduler wakeup + RF/ROB write.
+            # Result broadcast.
             dst = col_dsts[index]
             if dst is not None:
-                reg_ready[dst] = complete_cycle
+                completes[index] = complete_cycle
                 if th:
-                    bypass_broadcast(result_low if intdp else False)
-                    wakeup_occupancy = len(rs_list) - bisect_right(rs_list, complete_cycle)
-                    sched_broadcast(wakeup_occupancy)
-                    rf_write(dst, col_results[index])
-                    counters_record(
-                        "rob", 1 if (intdp and result_low) else NUM_DIES
-                    )
+                    memo[dst] = col_result_low[index]
+                    # Entry-stacked scheduler wakeup gating, inlined: the
+                    # broadcast wakes the dies holding still-busy entries
+                    # (occupancy == RS free-at cycles past completion).
+                    occ = len(rs_list) - bisect_right(rs_list, complete_cycle)
+                    if top_first:
+                        if occ == 0:
+                            dies = 1
+                        else:
+                            dies = -(-occ // sched_cap)
+                        for die in range(dies):
+                            sched_die[die] += 1
+                    else:
+                        if occ == 0:
+                            dies = 1
+                        elif occ < 4:
+                            dies = occ
+                        else:
+                            dies = 4
+                        for offset in range(dies):
+                            sched_die[(sched_rr + offset) & 3] += 1
+                        sched_rr = (sched_rr + 1) & 3
+
+            # Width predictor training (after any in-flight correction).
+            if predict_width:
+                if predicted_low == actual_low:
+                    wp_hits += 1
+                elif predicted_low:
+                    wp_unsafe += 1
                 else:
-                    counters_record("bypass", NUM_DIES)
-                    counters_record("scheduler", NUM_DIES)
-                    counters_record("register_file", NUM_DIES)
-                    counters_record("rob", NUM_DIES)
+                    wp_safe += 1
+                if dynamic_kind:
+                    ti = wp_index[index]
+                    counter = wp_table[ti]
+                    if actual_low:
+                        if counter > 0:
+                            wp_table[ti] = counter - 1
+                    elif counter < wp_max:
+                        wp_table[ti] = counter + 1
 
-            # Train the width predictor on the architectural outcome.
-            if th and intdp:
-                wp_train(pcs[index], predicted_low, actual_low)
-
-            # Branch resolution (mispredicted is only set for control ops).
+            # Branch resolution.
+            mispredicted = col_mispred[index]
             if mispredicted:
                 floor = complete_cycle + redirect_penalty
                 if next_fetch_floor < floor:
                     next_fetch_floor = floor
-                redirect_pending = True
 
             # ---------------- COMMIT ---------------- #
             commit_cycle = complete_cycle + 1
             if commit_cycle < last_commit_cycle:
                 commit_cycle = last_commit_cycle
-            if commit_cycle == last_commit_cycle and committed_in_cycle >= commit_width:
+            if (commit_cycle == last_commit_cycle
+                    and committed_in_cycle >= commit_width):
                 commit_cycle += 1
             if commit_cycle != last_commit_cycle:
                 committed_in_cycle = 0
                 last_commit_cycle = commit_cycle
             committed_in_cycle += 1
 
-            # CPI-stack attribution for this instruction's commit gap.
-            if th and stall_total != stalls_before:
+            # CPI-stack attribution.
+            if stalled:
                 category = "width"
             elif mispredicted:
                 category = "branch"
@@ -1157,13 +1165,6 @@ class TimingSimulator:
                 cpi_stack[category] = cpi_stack.get(category, 0) + gap
             prev_commit_for_stack = commit_cycle
 
-            if is_store:
-                store_line(mem_lines[index], mem_pages[index])
-                if th:
-                    dc_record_store(col_mem_addrs[index], col_mvz[index])
-                else:
-                    counters_record("l1_dcache", NUM_DIES)
-
             rob_q.append(commit_cycle)
             insort(rs_list, issue_cycle + 1)
             if is_load:
@@ -1171,6 +1172,7 @@ class TimingSimulator:
             elif is_store:
                 sq_q.append(commit_cycle)
 
+        # ---------------- RESULT ASSEMBLY ---------------- #
         self.stalls = StallBreakdown(
             rf_group_stalls=rf_group_stalls,
             alu_input_stalls=alu_input_stalls,
@@ -1178,10 +1180,39 @@ class TimingSimulator:
             dcache_width_stalls=dcache_width_stalls,
             btb_memoization_stalls=btb_memoization_stalls,
         )
+        activity = plan.build_activity(
+            rf1, rf4, first_rf, alu1, alu4, l1d1, l1d4, sched_die
+        )
+        self.counters = activity
+        self.frontend.stats = plan.branch_stats
+        if th:
+            predictions = plan.wp_predictions
+            if oracle_kind:
+                self.width_predictor.stats = WidthPredictorStats(
+                    predictions=predictions, correct=predictions
+                )
+            else:
+                self.width_predictor.stats = WidthPredictorStats(
+                    predictions=predictions,
+                    correct=wp_hits,
+                    unsafe_mispredictions=wp_unsafe,
+                    safe_mispredictions=wp_safe,
+                )
+            self.pam.broadcasts = plan.pam_broadcasts
+            self.pam.herded = plan.pam_herded_count
+            self.dcache_model.loads = plan.dc_loads
+            self.dcache_model.herded_loads = dc_herded
+            self.dcache_model.unsafe_stalls = dc_unsafe
+            self.scheduler.broadcasts = plan.sched_broadcasts
+            self.scheduler.broadcast_die_sum = (
+                sched_die[0] + sched_die[1] + sched_die[2] + sched_die[3]
+            )
+            memoized = self.frontend.memoized_btb
+            memoized.lookups = plan.memo_btb_lookups
+            memoized.far_target_stalls = plan.memo_btb_far
+
         total_cycles = (last_commit_cycle - cycle_base) if n else 0
         herding = self._herding_metrics()
-        activity = counters.into_plain() \
-            if isinstance(counters, BatchedActivityCounters) else counters
         return SimulationResult(
             benchmark=pre.name,
             benchmark_class=pre.benchmark_class,
@@ -1190,14 +1221,8 @@ class TimingSimulator:
             instructions=n - warmup,
             cycles=max(total_cycles, 1),
             activity=activity,
-            branch_stats=self.frontend.stats,
-            cache_stats={
-                "l1i": self.hierarchy.l1i.stats,
-                "l1d": self.hierarchy.l1d.stats,
-                "l2": self.hierarchy.l2.stats,
-                "itlb": self.hierarchy.itlb.stats,
-                "dtlb": self.hierarchy.dtlb.stats,
-            },
+            branch_stats=plan.branch_stats,
+            cache_stats=plan.cache_stats,
             width_stats=self.width_predictor.stats if th else None,
             stalls=self.stalls,
             herding=herding,

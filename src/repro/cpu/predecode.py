@@ -21,6 +21,18 @@ cached per ``line_bytes``; the static width-prediction profile is cached
 once.  All cached derivations replicate the reference path's iteration
 order exactly — dict insertion order feeds LRU state and the width
 profile's dict order, both of which the byte-identity guarantee covers.
+
+The batched wavefront split (:mod:`repro.cpu.wavefront`) adds a second
+family of derived columns: dependency writer indices (which earlier
+instruction produced each source operand), width-predictor index
+streams, PAM/partial-value-encoding outcomes, and BTB target nearness —
+everything the Thermal Herding models compute per instruction that does
+not depend on dynamic cycle counts.  Those columns are lazy (a config
+sweep that never enables herding never pays for them) and, like the
+geometry columns, are shared across every configuration replaying the
+trace.  The frontend/memory walk caches at the bottom are populated by
+:mod:`repro.cpu.wavefront` and keyed by the structural parameters that
+actually influence each walk.
 """
 
 from __future__ import annotations
@@ -50,6 +62,15 @@ LOAD_CODE = OPCLASS_LIST.index(OpClass.LOAD)
 STORE_CODE = OPCLASS_LIST.index(OpClass.STORE)
 RETURN_CODE = OPCLASS_LIST.index(OpClass.RETURN)
 FDIV_CODE = OPCLASS_LIST.index(OpClass.FDIV)
+BRANCH_CODE = OPCLASS_LIST.index(OpClass.BRANCH)
+CALL_CODE = OPCLASS_LIST.index(OpClass.CALL)
+JUMP_CODE = OPCLASS_LIST.index(OpClass.JUMP)
+
+#: 16-bit word size: values and addresses split upper bits at this shift
+#: (mirrors repro.isa.values.WORD_BITS for the vectorized columns below).
+_UPPER_SHIFT = np.uint64(16)
+_UPPER_ONES = np.uint64((1 << 48) - 1)
+_ENC_ALIGN = np.uint64(~np.uint64(0x7))
 
 
 def _low_width(values: np.ndarray) -> np.ndarray:
@@ -64,10 +85,16 @@ class PreDecodedTrace:
         "name", "benchmark_class", "n",
         "pcs", "ops", "codes", "fetch_lines",
         "is_control", "is_memory", "is_intdp", "is_fp", "is_load", "is_store",
-        "srcs", "svals", "dsts", "results", "mem_addrs", "has_mem_addr",
+        "srcs", "svals", "svals_low", "nsrcs", "dsts", "results",
+        "mem_addrs", "has_mem_addr",
         "mem_values_or_zero", "takens", "targets",
         "operands_low", "result_low", "actual_low", "latency", "busy",
         "_pc_arr", "_mem_arr", "_geometry", "_prewarm", "_width_profile",
+        # Wavefront-split additions: numpy views for the plan builder,
+        # lazy dependency/herding columns, and the walk caches populated
+        # by repro.cpu.wavefront.
+        "np_cols", "_writers", "_pred_index", "_pam_herded", "_dc_cols",
+        "frontend_walks", "memory_walks",
     )
 
     def __init__(self, compiled: CompiledTrace):
@@ -103,15 +130,17 @@ class PreDecodedTrace:
         nsrcs = rows["nsrcs"].tolist()
         src0 = rows["src0"].tolist()
         src1 = rows["src1"].tolist()
+        self.nsrcs = nsrcs
         self.srcs = [
             () if k == 0 else ((a,) if k == 1 else (a, b))
             for k, a, b in zip(nsrcs, src0, src1)
         ]
         sval0 = rows["sval0"].tolist()
         sval1 = rows["sval1"].tolist()
+        nvals_list = nvals.tolist()
         self.svals = [
             () if k == 0 else ((a,) if k == 1 else (a, b))
-            for k, a, b in zip(nvals.tolist(), sval0, sval1)
+            for k, a, b in zip(nvals_list, sval0, sval1)
         ]
         self.dsts = [None if d < 0 else d for d in dst.tolist()]
         self.results = result.tolist()
@@ -134,13 +163,23 @@ class PreDecodedTrace:
         operands_low = (nvals == 0) | (low0 & low1)
         inst_low = low_result & operands_low
         self.operands_low = operands_low.tolist()
-        self.result_low = ((dst < 0) | low_result).tolist()
+        result_low = (dst < 0) | low_result
+        self.result_low = result_low.tolist()
         actual_low = np.where(
             is_load,
             np.where(has_mv, low_mv, low_result),
             np.where(is_store, np.where(has_mv, low_mv, True), inst_low),
         ) & is_intdp
         self.actual_low = actual_low.tolist()
+
+        # Per-source-value width bits (the register file's lazily installed
+        # memoization values), truncated by nvals exactly like ``svals``.
+        low0_list = low0.tolist()
+        low1_list = low1.tolist()
+        self.svals_low = [
+            () if k == 0 else ((a,) if k == 1 else (a, b))
+            for k, a, b in zip(nvals_list, low0_list, low1_list)
+        ]
 
         self.latency = _LATENCY[codes].tolist()
         self.busy = _BUSY[codes].tolist()
@@ -150,6 +189,40 @@ class PreDecodedTrace:
         self._geometry: Dict[Tuple[int, int], tuple] = {}
         self._prewarm: Dict[int, List[int]] = {}
         self._width_profile: Optional[Dict[int, bool]] = None
+
+        # Numpy views consumed by the wavefront plan builder
+        # (:mod:`repro.cpu.wavefront`): everything it needs to derive
+        # masks, first-occurrence positions, and windowed counts without
+        # re-materializing arrays from the Python lists.
+        self.np_cols: Dict[str, np.ndarray] = {
+            "pc": pc,
+            "codes": codes,
+            "fetch_lines": pc // 64,
+            "is_control": _IS_CONTROL[codes],
+            "is_memory": _IS_MEMORY[codes],
+            "is_intdp": is_intdp,
+            "is_fp": _IS_FP[codes],
+            "is_load": is_load,
+            "is_store": is_store,
+            "is_cond": codes == BRANCH_CODE,
+            "is_return": codes == RETURN_CODE,
+            "taken": np.ascontiguousarray(rows["taken"]),
+            "has_target": np.ascontiguousarray(rows["has_target"]),
+            "target": np.ascontiguousarray(rows["target"]),
+            "has_dst": dst >= 0,
+            "has_srcs": np.ascontiguousarray(rows["nsrcs"]) > 0,
+            "result_low": result_low,
+            "mem_addr": mem_addr,
+            "mem_value_or_zero": np.where(has_mv, mem_value, np.uint64(0)),
+        }
+
+        # Lazy wavefront columns and walk caches (see the methods below).
+        self._writers: Optional[Tuple[List[int], List[int]]] = None
+        self._pred_index: Dict[int, List[int]] = {}
+        self._pam_herded: Optional[np.ndarray] = None
+        self._dc_cols: Dict[str, Tuple[List[bool], np.ndarray]] = {}
+        self.frontend_walks: Dict[tuple, object] = {}
+        self.memory_walks: Dict[tuple, object] = {}
 
     # ------------------------------------------------------------------ #
 
@@ -236,6 +309,115 @@ class PreDecodedTrace:
             profile = {pc: lows.get(pc, 0) * 2 > totals[pc] for pc in totals}
             self._width_profile = profile
         return profile
+
+    # ------------------------------------------------------------------ #
+    # Wavefront-split derived columns (lazy; see repro.cpu.wavefront).
+
+    def writers(self) -> Tuple[List[int], List[int]]:
+        """Last-writer instruction index per source-operand slot.
+
+        ``writers()[k][i]`` is the index of the most recent instruction
+        before ``i`` whose destination equals source ``k`` of ``i``, or
+        -1 when no earlier instruction wrote it.  Together with the
+        per-instruction completion cycles the loop records, these replace
+        the reference loop's ``reg_ready`` scoreboard dict exactly: a
+        register never written reads ready-at-cycle-0, like the dict's
+        default.
+        """
+        cached = self._writers
+        if cached is None:
+            n = self.n
+            w0 = [-1] * n
+            w1 = [-1] * n
+            last_writer: Dict[int, int] = {}
+            last_writer_get = last_writer.get
+            srcs = self.srcs
+            dsts = self.dsts
+            for i in range(n):
+                s = srcs[i]
+                if s:
+                    w0[i] = last_writer_get(s[0], -1)
+                    if len(s) == 2:
+                        w1[i] = last_writer_get(s[1], -1)
+                d = dsts[i]
+                if d is not None:
+                    last_writer[d] = i
+            cached = (w0, w1)
+            self._writers = cached
+        return cached
+
+    def pred_index(self, mask: int) -> List[int]:
+        """Width-predictor table indices ``(pc >> 2) & mask`` per instruction."""
+        cached = self._pred_index.get(mask)
+        if cached is None:
+            cached = ((self._pc_arr >> np.uint64(2)).astype(np.int64) & mask).tolist()
+            self._pred_index[mask] = cached
+        return cached
+
+    def pam_herded(self) -> List[bool]:
+        """Per-memory-op PAM outcome: does the address's upper 48 bits
+        match the most recent *earlier* store's (Section 3.5)?  Stores
+        compare against the previous store before installing their own
+        upper bits, so both loads and stores use the strictly-preceding
+        store.  Entries at non-memory indices are meaningless."""
+        cached = self._pam_herded
+        if cached is None:
+            n = self.n
+            idx = np.arange(n, dtype=np.int64)
+            store_pos = np.where(self.np_cols["is_store"], idx, -1)
+            last_incl = np.maximum.accumulate(store_pos)
+            prev = np.empty(n, dtype=np.int64)
+            prev[0] = -1
+            prev[1:] = last_incl[:-1]
+            uppers = self._mem_arr >> _UPPER_SHIFT
+            herded = (prev >= 0) & (uppers == uppers[np.maximum(prev, 0)])
+            cached = herded.tolist()
+            self._pam_herded = cached
+        return cached
+
+    def dc_columns(self, scheme_value: str) -> Tuple[List[bool], List[bool]]:
+        """Partial-value-encoding outcomes for the L1D model (Section 3.6).
+
+        Returns ``(load_compressed, store_compressed)``: per-index, is
+        the encoding the access observes/installs compressible?  Stores
+        always reclassify their value (fully vectorized); loads see the
+        get-or-install evolution of the per-double-word encoding dict,
+        replayed here once per scheme in program order — identical to the
+        call sequence :class:`~repro.core.dcache_encoding.PartialValueCache`
+        sees in the reference loop (every load and store participates,
+        regardless of width prediction).
+        """
+        cached = self._dc_cols.get(scheme_value)
+        if cached is None:
+            cols = self.np_cols
+            value = cols["mem_value_or_zero"]
+            addr = cols["mem_addr"]
+            upper = value >> _UPPER_SHIFT
+            if scheme_value == "two_bit":
+                comp = (upper == 0) | (upper == _UPPER_ONES) \
+                    | (upper == (addr >> _UPPER_SHIFT))
+            else:  # one_bit ablation: only the all-zeros pattern compresses
+                comp = upper == 0
+            comp_list = comp.tolist()
+            keys = (addr & _ENC_ALIGN).tolist()
+            mem_idx = np.flatnonzero(cols["is_load"] | cols["is_store"]).tolist()
+            is_store = self.is_store
+            load_comp = comp_list[:]
+            enc: Dict[int, bool] = {}
+            enc_get = enc.get
+            for i in mem_idx:
+                key = keys[i]
+                if is_store[i]:
+                    enc[key] = comp_list[i]
+                else:
+                    e = enc_get(key)
+                    if e is None:
+                        enc[key] = comp_list[i]
+                    else:
+                        load_comp[i] = e
+            cached = (load_comp, comp_list)
+            self._dc_cols[scheme_value] = cached
+        return cached
 
 
 def predecode(compiled: CompiledTrace) -> PreDecodedTrace:

@@ -31,6 +31,17 @@ class StallBreakdown:
             + self.btb_memoization_stalls
         )
 
+    def as_dict(self) -> Dict[str, int]:
+        """JSON-ready mapping of the five mechanisms plus their total."""
+        return {
+            "rf_group_stalls": self.rf_group_stalls,
+            "alu_input_stalls": self.alu_input_stalls,
+            "alu_reexecutions": self.alu_reexecutions,
+            "dcache_width_stalls": self.dcache_width_stalls,
+            "btb_memoization_stalls": self.btb_memoization_stalls,
+            "total": self.total,
+        }
+
 
 @dataclass
 class SimulationResult:

@@ -1,0 +1,628 @@
+"""Batched wavefront pre-computation for the columnar timing loop.
+
+The reference timing loop interleaves two kinds of work per instruction:
+*timing-dependent* scoreboard updates (when does this instruction fetch,
+dispatch, issue, complete?) and *timing-independent* microarchitectural
+state evolution (branch predictor tables, cache LRU stacks, width
+memoization bits, activity accounting).  The second kind never reads a
+cycle number — predictor outcomes, hit/miss walks, PAM/partial-value
+encodings, and per-module activity depend only on the instruction stream
+and the structural configuration.  This module computes all of it ahead
+of the loop, in two shared walks plus vectorized column algebra:
+
+* :func:`frontend_walk` — replays the hybrid direction predictor, BTB,
+  and return-address stack over just the control instructions, producing
+  per-instruction misprediction/lookup/hit masks and the derived
+  ``new_line`` fetch-group mask.  Keyed by the front-end structure
+  parameters, so one walk serves every configuration that shares them
+  (all six paper configurations do).
+
+* :func:`memory_walk` — replays the I/D TLBs and L1I/L1D/L2 LRU state
+  over the union of fetch-group starts and memory operations, producing
+  miss masks.  Latencies are *not* baked in: hit/miss behaviour is
+  latency-independent, so one walk serves every clock/latency variant.
+
+* :func:`build_plan` — converts the walk outputs into the per-config
+  column values the slimmed scalar loop consumes (fetch-stall cycles,
+  load access cycles, BTB memoization bubbles) and precomputes every
+  *static* piece of the result: branch/cache stats, herding tallies, and
+  the per-module activity whose counts don't depend on dynamic width
+  state.  The loop returns a handful of dynamic tallies (register-file
+  read splits, ALU/L1D width outcomes, scheduler broadcast dies) and
+  :meth:`WavefrontPlan.build_activity` assembles the final
+  :class:`~repro.core.activity.ActivityCounters` — byte-identical to
+  eager recording, including module *creation order*, which is
+  reconstructed from first-occurrence positions (instruction index ×
+  within-instruction event rank).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.activity import ActivityCounters, ModuleActivity
+from repro.cpu.branch_predictor import BranchStats, HybridPredictor
+from repro.cpu.caches import CacheStats, SetAssociativeCache, TLB
+from repro.cpu.predecode import (
+    BRANCH_CODE,
+    CALL_CODE,
+    PreDecodedTrace,
+    RETURN_CODE,
+)
+
+_U16 = np.uint64(16)
+
+# Within-instruction event ranks.  The reference loop touches modules in
+# a fixed order inside one instruction; a module's creation position is
+# ``first_instruction_index * 32 + rank``, which totally orders first
+# touches across the trace (load-path and store-path events never occur
+# on the same instruction, so sharing ranks 14-16 between them is safe).
+_R_ITLB = 0
+_R_L1I = 1
+_R_L2_FETCH = 2
+_R_DRAM_FETCH = 3
+_R_DIRPRED = 4
+_R_BTB = 6
+_R_RENAME = 7
+_R_FETCHQ = 8
+_R_RF_READ = 9
+_R_EXEC_UNIT = 10
+_R_DTLB_LOAD = 11
+_R_L2_LOAD = 12
+_R_DRAM_LOAD = 13
+_R_MEM_A = 14
+_R_MEM_B = 15
+_R_MEM_C = 16
+_R_BYPASS = 17
+_R_SCHED = 18
+_R_RF_WRITE = 19
+_R_ROB = 20
+_R_DTLB_STORE = 21
+_R_L2_STORE = 22
+_R_DRAM_STORE = 23
+_R_DC_STORE = 24
+
+
+class FrontendWalk:
+    """Per-instruction front-end outcomes, shared across configurations."""
+
+    __slots__ = (
+        "key", "new_line", "dir_mispred", "mispredicted",
+        "btb_lookup", "btb_hit", "ras_hit",
+    )
+
+    def __init__(self, key, new_line, dir_mispred, mispredicted,
+                 btb_lookup, btb_hit, ras_hit):
+        self.key = key
+        self.new_line = new_line
+        self.dir_mispred = dir_mispred
+        self.mispredicted = mispredicted
+        self.btb_lookup = btb_lookup
+        self.btb_hit = btb_hit
+        self.ras_hit = ras_hit
+
+
+class MemoryWalk:
+    """Per-instruction hierarchy miss outcomes (latency-independent)."""
+
+    __slots__ = (
+        "itlb_miss", "l1i_miss", "il2_miss",
+        "dtlb_miss", "l1d_miss", "dl2_miss",
+    )
+
+    def __init__(self, itlb_miss, l1i_miss, il2_miss,
+                 dtlb_miss, l1d_miss, dl2_miss):
+        self.itlb_miss = itlb_miss
+        self.l1i_miss = l1i_miss
+        self.il2_miss = il2_miss
+        self.dtlb_miss = dtlb_miss
+        self.l1d_miss = l1d_miss
+        self.dl2_miss = dl2_miss
+
+
+def frontend_walk(pre: PreDecodedTrace, cfg) -> FrontendWalk:
+    """Replay direction predictor + BTB + RAS over control instructions.
+
+    Replicates :meth:`repro.cpu.branch_predictor.FrontEndPredictor.process`
+    exactly — same table indices, same update order, same RAS bounding —
+    but touches only the control indices and emits boolean columns
+    instead of per-call outcome objects.
+    """
+    key = (cfg.btb_entries, cfg.btb_assoc, cfg.ras_depth)
+    walk = pre.frontend_walks.get(key)
+    if walk is not None:
+        return walk
+
+    cols = pre.np_cols
+    n = pre.n
+    codes = pre.codes
+    pcs = pre.pcs
+    takens = pre.takens
+    targets = pre.targets
+
+    direction = HybridPredictor()
+    predict = direction.predict
+    update = direction.update
+    btb_access = SetAssociativeCache("btb", cfg.btb_entries * 4,
+                                     cfg.btb_assoc, 4).access
+    ras: List[int] = []
+    ras_depth = cfg.ras_depth
+
+    dir_mis = [False] * n
+    mispred = [False] * n
+    lookup = [False] * n
+    btb_hit = [False] * n
+    ras_hit = [False] * n
+
+    for i in np.flatnonzero(cols["is_control"]).tolist():
+        code = codes[i]
+        pc = pcs[i]
+        if code == BRANCH_CODE:
+            taken = takens[i]
+            predicted = predict(pc)
+            update(pc, taken)
+            if predicted != taken:
+                dir_mis[i] = True
+                mispred[i] = True
+            elif taken:
+                lookup[i] = True
+                if btb_access(pc):
+                    btb_hit[i] = True
+                else:
+                    mispred[i] = True
+        elif code == RETURN_CODE:
+            predicted = ras.pop() if ras else None
+            if predicted is not None and predicted == targets[i]:
+                ras_hit[i] = True
+            else:
+                mispred[i] = True
+        else:  # CALL or JUMP: unconditional, always a BTB lookup
+            if code == CALL_CODE:
+                ras.append(pc + 4)
+                if len(ras) > ras_depth:
+                    ras.pop(0)
+            lookup[i] = True
+            if btb_access(pc):
+                btb_hit[i] = True
+            elif takens[i]:
+                mispred[i] = True
+
+    mispred_arr = np.array(mispred, dtype=bool)
+    # A taken or mispredicted control instruction redirects fetch: the
+    # next instruction starts a new fetch group regardless of its line.
+    redirect = cols["is_control"] & (cols["taken"] | mispred_arr)
+    fl = cols["fetch_lines"]
+    new_line = np.empty(n, dtype=bool)
+    new_line[0] = True  # the reference loop starts with current_line = -1
+    new_line[1:] = (fl[1:] != fl[:-1]) | redirect[:-1]
+
+    walk = FrontendWalk(
+        key=key,
+        new_line=new_line,
+        dir_mispred=np.array(dir_mis, dtype=bool),
+        mispredicted=mispred_arr,
+        btb_lookup=np.array(lookup, dtype=bool),
+        btb_hit=np.array(btb_hit, dtype=bool),
+        ras_hit=np.array(ras_hit, dtype=bool),
+    )
+    pre.frontend_walks[key] = walk
+    return walk
+
+
+def memory_walk(pre: PreDecodedTrace, cfg, fe: FrontendWalk,
+                prewarm: bool) -> MemoryWalk:
+    """Replay TLB/L1I/L1D/L2 LRU evolution, recording per-access misses.
+
+    One pass in program order over the union of fetch-group starts and
+    memory operations — the exact access/install sequence of the
+    hierarchy's ``*_line`` paths, including the next-line prefetch
+    installs and the L2 prewarm preamble.  Latency parameters don't
+    affect hit/miss behaviour, so the walk is shared across clock and
+    latency variants (keyed by structure + the front-end walk that
+    determined the fetch groups).
+    """
+    key = fe.key + (
+        prewarm, cfg.line_bytes, cfg.page_bytes,
+        cfg.l1i_size, cfg.l1i_assoc, cfg.l1d_size, cfg.l1d_assoc,
+        cfg.l2_size, cfg.l2_assoc,
+        cfg.itlb_entries, cfg.dtlb_entries, cfg.tlb_assoc,
+    )
+    walk = pre.memory_walks.get(key)
+    if walk is not None:
+        return walk
+
+    cols = pre.np_cols
+    n = pre.n
+    l1i = SetAssociativeCache("l1i", cfg.l1i_size, cfg.l1i_assoc, cfg.line_bytes)
+    l1d = SetAssociativeCache("l1d", cfg.l1d_size, cfg.l1d_assoc, cfg.line_bytes)
+    l2 = SetAssociativeCache("l2", cfg.l2_size, cfg.l2_assoc, cfg.line_bytes)
+    itlb = TLB("itlb", cfg.itlb_entries, cfg.tlb_assoc, cfg.page_bytes)
+    dtlb = TLB("dtlb", cfg.dtlb_entries, cfg.tlb_assoc, cfg.page_bytes)
+    if prewarm:
+        l2_install = l2.install_line
+        for line in pre.prewarm_lines(cfg.line_bytes):
+            l2_install(line)
+
+    pc_lines, pc_pages, mem_lines, mem_pages = pre.geometry(
+        cfg.line_bytes, cfg.page_bytes
+    )
+    itlb_access = itlb.access_line
+    l1i_access = l1i.access_line
+    l1d_access = l1d.access_line
+    dtlb_access = dtlb.access_line
+    l2_access = l2.access_line
+    l1i_install = l1i.install_line
+    l1d_install = l1d.install_line
+    l2_install = l2.install_line
+
+    new_line = fe.new_line.tolist()
+    is_memory = pre.is_memory
+
+    itlb_miss = [False] * n
+    l1i_miss = [False] * n
+    il2_miss = [False] * n
+    dtlb_miss = [False] * n
+    l1d_miss = [False] * n
+    dl2_miss = [False] * n
+
+    touched = fe.new_line | cols["is_memory"]
+    for i in np.flatnonzero(touched).tolist():
+        if new_line[i]:
+            if not itlb_access(pc_pages[i]):
+                itlb_miss[i] = True
+            line = pc_lines[i]
+            if not l1i_access(line):
+                l1i_miss[i] = True
+                if not l2_access(line):
+                    il2_miss[i] = True
+            l1i_install(line + 1)
+            l2_install(line + 1)
+        if is_memory[i]:
+            if not dtlb_access(mem_pages[i]):
+                dtlb_miss[i] = True
+            mline = mem_lines[i]
+            if not l1d_access(mline):
+                l1d_miss[i] = True
+                if not l2_access(mline):
+                    dl2_miss[i] = True
+            l1d_install(mline + 1)
+            l2_install(mline + 1)
+
+    walk = MemoryWalk(
+        itlb_miss=np.array(itlb_miss, dtype=bool),
+        l1i_miss=np.array(l1i_miss, dtype=bool),
+        il2_miss=np.array(il2_miss, dtype=bool),
+        dtlb_miss=np.array(dtlb_miss, dtype=bool),
+        l1d_miss=np.array(l1d_miss, dtype=bool),
+        dl2_miss=np.array(dl2_miss, dtype=bool),
+    )
+    pre.memory_walks[key] = walk
+    return walk
+
+
+def _first(mask: np.ndarray, warmup: int) -> Optional[int]:
+    """First index >= warmup where ``mask`` holds, or None."""
+    sub = mask[warmup:]
+    idx = int(np.argmax(sub))
+    if not sub[idx]:
+        return None
+    return warmup + idx
+
+
+def _pos(*pairs) -> Optional[int]:
+    """Minimum first-touch position over ``(first_index, rank)`` pairs."""
+    best = None
+    for first, rank in pairs:
+        if first is None:
+            continue
+        pos = first * 32 + rank
+        if best is None or pos < best:
+            best = pos
+    return best
+
+
+class WavefrontPlan:
+    """Everything the slim scalar loop and result assembly consume."""
+
+    __slots__ = (
+        "n", "warmup", "th",
+        # loop columns (plain lists, full trace length)
+        "new_line", "fetch_extra", "bubbles", "mispredicted",
+        "load_cycles", "load_dram", "memory_miss",
+        "dc_load_comp", "pidx", "w0", "w1",
+        # static result pieces
+        "branch_stats", "cache_stats", "btb_memo_stalls", "wp_predictions",
+        "pam_broadcasts", "pam_herded_count", "dc_loads",
+        "sched_broadcasts", "memo_btb_lookups", "memo_btb_far",
+        # static activity scalars
+        "_static", "_firsts",
+    )
+
+    def __init__(self, pre: PreDecodedTrace, cfg, warmup: int,
+                 fe: FrontendWalk, mem: MemoryWalk):
+        cols = pre.np_cols
+        n = pre.n
+        th = cfg.thermal_herding
+        self.n = n
+        self.warmup = warmup
+        self.th = th
+
+        NL = fe.new_line
+        LKP = fe.btb_lookup
+        HIT = fe.btb_hit
+        RASH = fe.ras_hit
+        COND = cols["is_cond"]
+        RET = cols["is_return"]
+        LD = cols["is_load"]
+        ST = cols["is_store"]
+        MEM = cols["is_memory"]
+        INT = cols["is_intdp"]
+        # The execute stage's unit-activity chain: integer-datapath
+        # non-memory ops use the partitioned ALU, memory ops the AGU
+        # (both the "alu" module), and only non-integer non-memory FP ops
+        # touch the FPU.
+        INTM = INT | MEM
+        FPX = cols["is_fp"] & ~INTM
+        DST = cols["has_dst"]
+        RL = cols["result_low"]
+        HT = cols["has_target"]
+        LM, IL2, ITM = mem.l1i_miss, mem.il2_miss, mem.itlb_miss
+        DM, DL2, DTM = mem.l1d_miss, mem.dl2_miss, mem.dtlb_miss
+
+        # ---- per-config latency columns for the loop ---- #
+        l2_lat = cfg.l2_latency
+        dram_c = cfg.dram_cycles
+        tlb_pen = cfg.tlb_miss_penalty
+        self.new_line = NL.tolist()
+        self.fetch_extra = (
+            LM.astype(np.int64) * l2_lat
+            + IL2.astype(np.int64) * dram_c
+            + ITM.astype(np.int64) * tlb_pen
+        ).tolist()
+        self.load_cycles = (
+            cfg.l1_latency
+            + DM.astype(np.int64) * l2_lat
+            + DL2.astype(np.int64) * dram_c
+            + DTM.astype(np.int64) * tlb_pen
+        ).tolist()
+        self.load_dram = (LD & DL2).tolist()
+        self.memory_miss = (LD & (DM | DTM)).tolist()
+        self.mispredicted = fe.mispredicted.tolist()
+        self.w0, self.w1 = pre.writers()
+
+        if th:
+            NEAR = (cols["target"] >> _U16) == (cols["pc"] >> _U16)
+            BUB = LKP & HIT & HT & ~NEAR
+            self.bubbles = BUB.astype(np.int64).tolist()
+            self.dc_load_comp = pre.dc_columns(cfg.dcache_encoding.value)[0]
+        else:
+            BUB = None
+            self.bubbles = [0] * n
+            self.dc_load_comp = None
+        self.pidx = None  # set by the caller for the dynamic predictor kind
+
+        # ---- windowed sums / firsts for the static result pieces ---- #
+        def S(mask) -> int:
+            return int(np.count_nonzero(mask[warmup:]))
+
+        s_nl = S(NL)
+        s_ld = S(LD)
+        s_st = S(ST)
+        s_cond = S(COND)
+        s_lkp = S(LKP)
+        s_dst = S(DST)
+        s_alu = S(INTM)
+        s_fp = S(FPX)
+        s_mem = s_ld + s_st
+        s_l2_fetch = S(NL & LM)
+        s_l2_load = S(LD & DM)
+        s_l2_store = S(ST & DM)
+        s_dram_fetch = S(NL & IL2)
+        s_dram_load = S(LD & DL2)
+        s_dram_store = S(ST & DL2)
+
+        self.branch_stats = BranchStats(
+            conditional_branches=s_cond,
+            direction_mispredicts=S(COND & fe.dir_mispred),
+            btb_lookups=s_lkp,
+            btb_misses=S(LKP & ~HIT),
+            ras_returns=S(RET),
+            ras_mispredicts=S(RET & ~RASH),
+        )
+        self.cache_stats = {
+            "l1i": CacheStats(accesses=s_nl, misses=S(NL & LM)),
+            "l1d": CacheStats(accesses=s_mem, misses=s_l2_load + s_l2_store),
+            "l2": CacheStats(
+                accesses=s_l2_fetch + s_l2_load + s_l2_store,
+                misses=s_dram_fetch + s_dram_load + s_dram_store,
+            ),
+            "itlb": CacheStats(accesses=s_nl, misses=S(NL & ITM)),
+            "dtlb": CacheStats(accesses=s_mem, misses=S(MEM & DTM)),
+        }
+
+        self.wp_predictions = S(INT) if th else 0
+        if th:
+            pamh = np.array(pre.pam_herded(), dtype=bool)
+            self.pam_broadcasts = s_mem
+            self.pam_herded_count = S(MEM & pamh)
+            self.dc_loads = s_ld
+            self.sched_broadcasts = s_dst
+            self.memo_btb_lookups = S(LKP & HIT & HT)
+            self.memo_btb_far = S(BUB)
+            self.btb_memo_stalls = self.memo_btb_far
+        else:
+            pamh = None
+            self.pam_broadcasts = 0
+            self.pam_herded_count = 0
+            self.dc_loads = 0
+            self.sched_broadcasts = 0
+            self.memo_btb_lookups = 0
+            self.memo_btb_far = 0
+            self.btb_memo_stalls = 0
+
+        # ---- static activity scalars + first-touch indices ---- #
+        store_comp = None
+        if th:
+            sc = np.array(pre.dc_columns(cfg.dcache_encoding.value)[1], dtype=bool)
+            store_comp = S(ST & sc)
+        self._static = {
+            "s_nl": s_nl, "s_ld": s_ld, "s_st": s_st, "s_cond": s_cond,
+            "s_lkp": s_lkp, "s_dst": s_dst, "s_alu": s_alu, "s_fp": s_fp,
+            "s_mem_ops": s_mem,
+            "s_l2": s_l2_fetch + s_l2_load + s_l2_store,
+            "s_dram": s_dram_fetch + s_dram_load + s_dram_store,
+            "s_rash": S(RASH),
+            "s_near": S(LKP & HIT & HT & NEAR) if th else 0,
+            "s_dst_low": S(DST & INT & RL),
+            "s_wlow": S(DST & RL),
+            "s_fill": s_l2_load,
+            "s_pam_ld": S(LD & pamh) if th else 0,
+            "s_pam_st": S(ST & pamh) if th else 0,
+            "s_store_comp": store_comp if th else 0,
+        }
+        self._firsts = {
+            "nl": _first(NL, warmup),
+            "cond": _first(COND, warmup),
+            "lkp": _first(LKP, warmup),
+            "rash": _first(RASH, warmup),
+            "ld": _first(LD, warmup),
+            "st": _first(ST, warmup),
+            "dst": _first(DST, warmup),
+            "int": _first(INTM, warmup),
+            "fp": _first(FPX, warmup),
+            "l2_fetch": _first(NL & LM, warmup),
+            "l2_load": _first(LD & DM, warmup),
+            "l2_store": _first(ST & DM, warmup),
+            "dram_fetch": _first(NL & IL2, warmup),
+            "dram_load": _first(LD & DL2, warmup),
+            "dram_store": _first(ST & DL2, warmup),
+        }
+
+    # ------------------------------------------------------------------ #
+
+    def build_activity(
+        self,
+        rf1: int, rf4: int, first_rf: int,
+        alu1: int, alu4: int,
+        l1d1: int, l1d4: int,
+        sched_die: List[int],
+    ) -> ActivityCounters:
+        """Assemble the final activity counters from static sums plus the
+        loop's dynamic tallies, in reference creation order."""
+        st = self._static
+        fi = self._firsts
+        warmup = self.warmup
+        th = self.th
+        entries: List[Tuple[int, str, ModuleActivity]] = []
+
+        def rec(pos: Optional[int], name: str, c1: int, c4: int) -> None:
+            if pos is None or (c1 == 0 and c4 == 0):
+                return
+            entries.append((pos, name, ModuleActivity(
+                total=c1 + c4, top_only=c1, per_die=[c1 + c4, c4, c4, c4],
+            )))
+
+        rec(_pos((fi["nl"], _R_ITLB)), "itlb", 0, st["s_nl"])
+        rec(_pos((fi["nl"], _R_L1I)), "l1_icache", 0, st["s_nl"])
+        rec(_pos((fi["l2_fetch"], _R_L2_FETCH), (fi["l2_load"], _R_L2_LOAD),
+                 (fi["l2_store"], _R_L2_STORE)), "l2_cache", 0, st["s_l2"])
+        rec(_pos((fi["dram_fetch"], _R_DRAM_FETCH),
+                 (fi["dram_load"], _R_DRAM_LOAD),
+                 (fi["dram_store"], _R_DRAM_STORE)), "dram", 0, st["s_dram"])
+
+        s_cond = st["s_cond"]
+        if th:
+            if s_cond:
+                # Split arrays: predictions touch dies 0-1, updates 0-3.
+                entries.append((fi["cond"] * 32 + _R_DIRPRED, "dir_predictor",
+                                ModuleActivity(
+                                    total=6 * s_cond,
+                                    top_only=2 * s_cond,
+                                    per_die=[2 * s_cond, 2 * s_cond,
+                                             s_cond, s_cond],
+                                )))
+            near = st["s_near"]
+            rec(_pos((fi["lkp"], _R_BTB)), "btb", near, st["s_lkp"] - near)
+        else:
+            rec(_pos((fi["cond"], _R_DIRPRED)), "dir_predictor", 0, 2 * s_cond)
+            rec(_pos((fi["lkp"], _R_BTB)), "btb", 0, st["s_lkp"])
+        rec(_pos((fi["rash"], _R_BTB)), "ibtb", 0, st["s_rash"])
+
+        insts = self.n - warmup
+        rec(warmup * 32 + _R_RENAME, "rename", 0, insts)
+        rec(warmup * 32 + _R_FETCHQ, "fetch_queue", 0, insts)
+
+        # Register file: dynamic reads + static writes.
+        first_rf_idx = first_rf if first_rf >= 0 else None
+        if th:
+            w1c = st["s_wlow"]
+            w4c = st["s_dst"] - w1c
+        else:
+            w1c = 0
+            w4c = st["s_dst"]
+        rec(_pos((first_rf_idx, _R_RF_READ), (fi["dst"], _R_RF_WRITE)),
+            "register_file", rf1 + w1c, rf4 + w4c)
+
+        if th:
+            rec(_pos((fi["int"], _R_EXEC_UNIT)), "alu",
+                alu1, alu4 + st["s_mem_ops"])
+        else:
+            rec(_pos((fi["int"], _R_EXEC_UNIT)), "alu", 0, st["s_alu"])
+        rec(_pos((fi["fp"], _R_EXEC_UNIT)), "fpu", 0, st["s_fp"])
+
+        rec(_pos((fi["ld"], _R_DTLB_LOAD), (fi["st"], _R_DTLB_STORE)),
+            "dtlb", 0, st["s_mem_ops"])
+
+        if th:
+            # PAM: loads probe the store queue, stores probe the load queue.
+            rec(_pos((fi["ld"], _R_MEM_A)), "store_queue",
+                st["s_pam_ld"], st["s_ld"] - st["s_pam_ld"])
+            rec(_pos((fi["st"], _R_MEM_A)), "load_queue",
+                st["s_pam_st"], st["s_st"] - st["s_pam_st"])
+            # L1D data array: dynamic load records + static fills/stores.
+            dc1 = l1d1 + st["s_store_comp"]
+            dc4 = l1d4 + st["s_fill"] + (st["s_st"] - st["s_store_comp"])
+            rec(_pos((fi["ld"], _R_MEM_B), (fi["st"], _R_DC_STORE)),
+                "l1_dcache", dc1, dc4)
+        else:
+            rec(_pos((fi["ld"], _R_MEM_A), (fi["st"], _R_DC_STORE)),
+                "l1_dcache", 0, st["s_mem_ops"])
+            rec(_pos((fi["ld"], _R_MEM_B), (fi["st"], _R_MEM_A)),
+                "load_queue", 0, st["s_mem_ops"])
+            rec(_pos((fi["ld"], _R_MEM_C), (fi["st"], _R_MEM_B)),
+                "store_queue", 0, st["s_mem_ops"])
+
+        s_dst = st["s_dst"]
+        if th:
+            low = st["s_dst_low"]
+            rec(_pos((fi["dst"], _R_BYPASS)), "bypass", low, s_dst - low)
+            total = sum(sched_die)
+            if s_dst and total:
+                entries.append((fi["dst"] * 32 + _R_SCHED, "scheduler",
+                                ModuleActivity(
+                                    total=total,
+                                    top_only=sched_die[0],
+                                    per_die=list(sched_die),
+                                )))
+            rec(_pos((fi["dst"], _R_ROB)), "rob", low, s_dst - low)
+        else:
+            rec(_pos((fi["dst"], _R_BYPASS)), "bypass", 0, s_dst)
+            rec(_pos((fi["dst"], _R_SCHED)), "scheduler", 0, s_dst)
+            rec(_pos((fi["dst"], _R_ROB)), "rob", 0, s_dst)
+
+        entries.sort(key=lambda entry: entry[0])
+        counters = ActivityCounters()
+        modules = counters.modules()
+        for _pos_key, name, activity in entries:
+            modules[name] = activity
+        return counters
+
+
+def build_plan(pre: PreDecodedTrace, cfg, warmup: int,
+               prewarm: bool) -> WavefrontPlan:
+    """Run (or reuse) both walks and assemble the per-config plan."""
+    fe = frontend_walk(pre, cfg)
+    mem = memory_walk(pre, cfg, fe, prewarm)
+    return WavefrontPlan(pre, cfg, warmup, fe, mem)

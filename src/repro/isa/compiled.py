@@ -116,6 +116,15 @@ class CompiledTrace:
     def __len__(self) -> int:
         return len(self.array)
 
+    @property
+    def nbytes(self) -> int:
+        """Size of the columnar array in bytes (the transport payload).
+
+        For a memory-mapped entry this is the on-disk footprint shared by
+        all workers, not per-process resident memory.
+        """
+        return int(self.array.nbytes)
+
     def to_trace(self) -> Trace:
         """Reconstruct the exact object-form :class:`Trace`."""
         rows = self.array
