@@ -200,15 +200,13 @@ def _cmd_report(args) -> int:
     if args.stats or args.log_json:
         import json
 
-        from repro.thermal.solver import FACTORIZATION_STATS
-
+        # `as_dict` snapshots FACTORIZATION_STATS alongside the context
+        # counters, so the payload needs no extra thermal plumbing.
         payload = {
             "wall_s": round(wall_s, 3),
             "jobs": context.jobs,
             "fast": bool(args.fast),
             **context.stats.as_dict(),
-            "factorizations": FACTORIZATION_STATS.factorizations,
-            "factorization_cache_hits": FACTORIZATION_STATS.cache_hits,
         }
         if args.stats:
             with open(args.stats, "w", encoding="utf-8") as stream:

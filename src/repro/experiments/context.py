@@ -26,7 +26,7 @@ import uuid
 import warnings
 from datetime import datetime, timezone
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.cpu.config import CPUConfig, paper_configurations
 from repro.cpu.pipeline import columnar_enabled, simulate
@@ -48,7 +48,7 @@ from repro.power.model import (
     calibrate_activity_scale,
 )
 from repro.thermal.power_map import build_power_map, rasterize
-from repro.thermal.solver import ThermalResult, ThermalSolver
+from repro.thermal.solver import FACTORIZATION_STATS, ThermalResult, ThermalSolver
 from repro.thermal.stack import planar_stack, stacked_3d_stack
 from repro.workloads.suite import benchmark_names, fingerprint, generate
 
@@ -94,6 +94,14 @@ CLAIM_WAIT_S = 120.0
 
 #: Poll interval while waiting on another process's claim.
 CLAIM_POLL_S = 0.05
+
+#: Distinct geometries a thermal dispatch needs before it fans out to
+#: worker processes.  Below this the parent solves inline: a worker
+#: cannot return its SuperLU handle, so small dispatches would pay a
+#: pool spin-up *and* forfeit the parent's factorization LRU that later
+#: single-geometry solves (DVFS points, transient steps, leakage
+#: feedback) reuse for free.
+THERMAL_PARALLEL_MIN_GROUPS = 3
 
 #: Configuration labels -> whether they are evaluated as a 3D stack.
 CONFIG_STACKS: Dict[str, StackKind] = {
@@ -177,6 +185,12 @@ class ContextStats:
     thermal_subproc_solves: int = 0
     #: supervised thermal solves that fell back in-process
     thermal_subproc_fallbacks: int = 0
+    #: geometry groups dispatched by the thermal solve engine
+    thermal_groups: int = 0
+    #: geometry groups factorized+solved in pool workers (vs inline)
+    thermal_worker_groups: int = 0
+    #: SuperLU factorizations performed inside thermal workers
+    thermal_worker_factorizations: int = 0
     #: accumulated wall-clock per pipeline stage (e.g. simulate, thermal)
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     #: robustness incidents, in order ({"event": ..., **detail})
@@ -239,6 +253,13 @@ class ContextStats:
             "instructions_per_second": self.instructions_per_second(),
             "thermal_subproc_solves": self.thermal_subproc_solves,
             "thermal_subproc_fallbacks": self.thermal_subproc_fallbacks,
+            "thermal_groups": self.thermal_groups,
+            "thermal_worker_groups": self.thermal_worker_groups,
+            "thermal_worker_factorizations": self.thermal_worker_factorizations,
+            # Process-wide factorization-LRU snapshot (parent process
+            # only; worker-side factorizations are accumulated above).
+            "factorizations": FACTORIZATION_STATS.factorizations,
+            "factorization_cache_hits": FACTORIZATION_STATS.cache_hits,
             "stage_seconds": {
                 stage: round(seconds, 3)
                 for stage, seconds in sorted(self.stage_seconds.items())
@@ -353,6 +374,27 @@ def _simulate_task(
     return simulate(trace, config, warmup=warmup)
 
 
+@dataclass
+class _PoolTask:
+    """One unit of work for the fault-tolerant pool executor.
+
+    ``fn(*args)`` runs in a worker process; ``serial()`` is the
+    in-process fallback producing an identical result (every task is
+    deterministic).  ``detail`` labels the task in robustness events,
+    ``timeout_s`` is its per-attempt deadline, ``max_attempts`` its
+    worker-pool attempt budget, and ``on_fallback`` (if set) is invoked
+    with a reason string whenever the task abandons the pool path.
+    """
+
+    fn: Callable
+    args: tuple
+    serial: Callable[[], object]
+    detail: Dict[str, object]
+    timeout_s: Optional[float] = None
+    max_attempts: int = 1
+    on_fallback: Optional[Callable[[str], None]] = None
+
+
 class ExperimentContext:
     """Memoizing facade over the whole simulation pipeline."""
 
@@ -383,6 +425,8 @@ class ExperimentContext:
         self.thermal_timeout_s = (
             _env_positive_number(ENV_THERMAL_TIMEOUT) or self.task_timeout_s
         )
+        #: distinct geometries a thermal dispatch needs to use the pool
+        self.thermal_parallel_min_groups = THERMAL_PARALLEL_MIN_GROUPS
         #: cross-process claim coordination knobs
         self.claim_wait_s = CLAIM_WAIT_S
         self.claim_poll_s = CLAIM_POLL_S
@@ -402,7 +446,13 @@ class ExperimentContext:
     def trace(self, benchmark: str) -> Trace:
         trace = self._traces.get(benchmark)
         if trace is None:
+            start = time.perf_counter()
             trace = generate(benchmark, length=self.settings.trace_length)
+            # ``generate``/``compile`` stage seconds count the emulator
+            # and compiler wherever they run — including nested inside
+            # the ``simulate`` stage on cold sweeps — so the per-stage
+            # breakdown shows the next bottleneck without re-profiling.
+            self.stats.add_stage("generate", time.perf_counter() - start)
             self.stats.traces_generated += 1
             self._traces[benchmark] = trace
         return trace
@@ -433,7 +483,9 @@ class ExperimentContext:
             trace = self.trace(benchmark)
             start = time.perf_counter()
             compiled = trace.compiled()
-            self.stats.trace_compile_seconds += time.perf_counter() - start
+            elapsed = time.perf_counter() - start
+            self.stats.trace_compile_seconds += elapsed
+            self.stats.add_stage("compile", elapsed)
             if compiled is not None and store is not None:
                 path = store.store(key, compiled)
                 self._trace_files[benchmark] = (
@@ -744,7 +796,20 @@ class ExperimentContext:
         start = time.perf_counter()
         self.stats.begin_batch()
         try:
-            return self._execute_batch(tasks)
+            settings = self.settings
+            pool_tasks = [
+                _PoolTask(
+                    fn=_simulate_task,
+                    args=(benchmark, config, settings.trace_length,
+                          settings.warmup, self._trace_file(benchmark)),
+                    serial=(lambda b=benchmark, c=config: self._run_serial(b, c)),
+                    detail={"benchmark": benchmark, "config": config.name},
+                    timeout_s=self.task_timeout_s,
+                    max_attempts=self.max_task_attempts,
+                )
+                for benchmark, config in tasks
+            ]
+            return self._run_pool_tasks(pool_tasks, kind="simulation")
         finally:
             self.stats.end_batch()
             self.stats.add_stage("simulate", time.perf_counter() - start)
@@ -783,35 +848,53 @@ class ExperimentContext:
                 except Exception:
                     pass
 
-    def _serial_remainder(self, tasks, results, indices, reason: str):
+    def _serial_remainder(self, tasks, results, indices, reason: str,
+                          kind: str):
         """Finish ``indices`` serially after the pool path was abandoned."""
         warnings.warn(
-            f"simulation worker pool unusable ({reason}); running "
+            f"{kind} worker pool unusable ({reason}); running "
             f"{len(indices)} remaining task(s) serially",
             RuntimeWarning,
             stacklevel=4,
         )
-        self.stats.record_event("serial_degrade", reason=reason,
+        self.stats.record_event("serial_degrade", kind=kind, reason=reason,
                                 tasks=len(indices))
         for index in indices:
-            results[index] = self._run_serial(*tasks[index])
+            task = tasks[index]
+            if task.on_fallback is not None:
+                task.on_fallback(f"pool {reason}")
+            results[index] = task.serial()
             self.stats.serial_fallbacks += 1
 
-    def _execute_batch(self, tasks: List[Tuple[str, CPUConfig]]) -> List[SimulationResult]:
-        workers = min(self.jobs, len(tasks))
-        if workers <= 1:
-            return [self._run_serial(benchmark, config) for benchmark, config in tasks]
+    def _run_pool_tasks(self, tasks: List[_PoolTask], kind: str,
+                        force_pool: bool = False) -> List:
+        """Run :class:`_PoolTask` descriptors on a fault-tolerant pool.
+
+        The shared executor behind both the simulation and thermal fan-
+        out.  ``force_pool`` insists on worker processes even for a
+        single task on a single-job context (the crash isolation the
+        supervised thermal path needs).  Tasks carry their own deadlines
+        and attempt budgets, so one dispatch can mix quick tasks with
+        supervised one-shot ones.
+        """
+        workers = max(1, min(self.jobs, len(tasks)))
+        if workers <= 1 and not force_pool:
+            return [task.serial() for task in tasks]
         pool = self._new_pool(workers)
         if pool is None:
-            self.stats.record_event("pool_unavailable", tasks=len(tasks))
-            return [self._run_serial(benchmark, config) for benchmark, config in tasks]
+            self.stats.record_event("pool_unavailable", kind=kind,
+                                    tasks=len(tasks))
+            out = []
+            for task in tasks:
+                if task.on_fallback is not None:
+                    task.on_fallback("pool unavailable")
+                out.append(task.serial())
+            return out
 
         from concurrent.futures import wait as wait_futures
         from concurrent.futures.process import BrokenProcessPool
 
-        settings = self.settings
-        timeout = self.task_timeout_s
-        results: List[Optional[SimulationResult]] = [None] * len(tasks)
+        results: List = [None] * len(tasks)
         attempts = [0] * len(tasks)
         pending = list(range(len(tasks)))
         restarts = 0
@@ -823,13 +906,9 @@ class ExperimentContext:
                 pool_hung = False
                 failed: List[int] = []
                 for index in pending:
-                    benchmark, config = tasks[index]
+                    task = tasks[index]
                     try:
-                        future = pool.submit(
-                            _simulate_task, benchmark, config,
-                            settings.trace_length, settings.warmup,
-                            self._trace_file(benchmark),
-                        )
+                        future = pool.submit(task.fn, *task.args)
                     except (BrokenProcessPool, RuntimeError):
                         # The pool broke under our feet; everything not
                         # yet submitted joins the retry set.
@@ -837,19 +916,19 @@ class ExperimentContext:
                         failed.append(index)
                         continue
                     futures[future] = index
-                    if timeout is not None:
-                        deadlines[future] = time.monotonic() + timeout
+                    if task.timeout_s is not None:
+                        deadlines[future] = time.monotonic() + task.timeout_s
                 self.stats.tasks_run += len(futures)
 
                 not_done = set(futures)
                 while not_done:
-                    if timeout is None:
+                    timed = [deadlines[f] for f in not_done if f in deadlines]
+                    if not timed:
                         done, not_done = wait_futures(not_done)
                     else:
-                        horizon = min(deadlines[f] for f in not_done)
                         done, not_done = wait_futures(
                             not_done,
-                            timeout=max(0.0, horizon - time.monotonic()),
+                            timeout=max(0.0, min(timed) - time.monotonic()),
                         )
                     for future in done:
                         index = futures[future]
@@ -863,12 +942,11 @@ class ExperimentContext:
                             failed.append(index)
                             self.stats.record_event(
                                 "task_error",
-                                benchmark=tasks[index][0],
-                                config=tasks[index][1].name,
+                                **tasks[index].detail,
                                 attempt=attempts[index],
                                 error=repr(exc),
                             )
-                    if timeout is None:
+                    if not timed:
                         continue
                     # Deadline sweep: any task past its deadline re-enters
                     # the retry ladder now.  One that cancels cleanly was
@@ -876,7 +954,8 @@ class ExperimentContext:
                     # is running on a hung worker, and the whole pool gets
                     # recycled once everything still live has drained.
                     now = time.monotonic()
-                    for future in [f for f in not_done if deadlines[f] <= now]:
+                    for future in [f for f in not_done
+                                   if deadlines.get(f, now + 1.0) <= now]:
                         index = futures[future]
                         not_done.discard(future)
                         attempts[index] += 1
@@ -887,53 +966,58 @@ class ExperimentContext:
                             pool_hung = True
                         self.stats.record_event(
                             "task_timeout",
-                            benchmark=tasks[index][0],
-                            config=tasks[index][1].name,
+                            **tasks[index].detail,
                             attempt=attempts[index],
-                            timeout_s=timeout,
+                            timeout_s=tasks[index].timeout_s,
                             running=was_running,
                         )
                 if not failed:
                     break
 
+                reason = "hung" if pool_hung else "broke"
                 if pool_broken or pool_hung:
-                    reason = "hung" if pool_hung else "broke"
                     self._abandon_pool(pool, kill=pool_hung)
                     pool = None
+                # Tasks that exhausted their budget fall back serially
+                # inside the filter; restarting a pool for an empty retry
+                # set would be pure churn, so filter first.
+                retryable = self._filter_retryable(tasks, results, attempts,
+                                                   failed)
+                if not retryable:
+                    break
+                if pool is None:
                     if restarts >= self.max_pool_restarts:
                         self._serial_remainder(
-                            tasks, results, failed,
-                            f"{reason} {restarts + 1} times",
+                            tasks, results, retryable,
+                            f"{reason} {restarts + 1} times", kind,
                         )
                         break
                     restarts += 1
                     self.stats.pool_restarts += 1
-                    self.stats.record_event("pool_restart", restart=restarts,
-                                            reason=reason, tasks=len(failed))
+                    self.stats.record_event("pool_restart", kind=kind,
+                                            restart=restarts, reason=reason,
+                                            tasks=len(retryable))
                     time.sleep(min(MAX_BACKOFF_S,
                                    self.retry_backoff_s * 2 ** (restarts - 1)))
                     pool = self._new_pool(workers)
                     if pool is None:
-                        self._serial_remainder(tasks, results, failed,
-                                               "could not be recreated")
+                        self._serial_remainder(tasks, results, retryable,
+                                               "could not be recreated", kind)
                         break
-                    pending = self._filter_retryable(tasks, results, attempts,
-                                                     failed)
-                    continue
-
-                # Pool is healthy: retry transient in-task failures on it,
-                # run repeat offenders serially (a genuine, deterministic
-                # error will surface from the serial run).
-                retryable = self._filter_retryable(tasks, results, attempts,
-                                                   failed)
-                self.stats.task_retries += len(retryable)
-                pending = retryable
+                    pending = retryable
+                else:
+                    # Pool is healthy: retry transient in-task failures on
+                    # it (a genuine, deterministic error will surface from
+                    # the serial run once attempts are exhausted).
+                    self.stats.task_retries += len(retryable)
+                    pending = retryable
         finally:
             if pool is not None:
                 pool.shutdown()
         return results
 
-    def _filter_retryable(self, tasks, results, attempts, failed) -> List[int]:
+    def _filter_retryable(self, tasks: List[_PoolTask], results, attempts,
+                          failed) -> List[int]:
         """Split failed indices into pool retries vs immediate serial runs.
 
         Tasks that exhausted their attempt budget (repeat raisers, repeat
@@ -942,16 +1026,18 @@ class ExperimentContext:
         """
         retryable: List[int] = []
         for index in failed:
-            if attempts[index] < self.max_task_attempts:
+            task = tasks[index]
+            if attempts[index] < task.max_attempts:
                 retryable.append(index)
             else:
                 self.stats.record_event(
                     "serial_fallback",
-                    benchmark=tasks[index][0],
-                    config=tasks[index][1].name,
+                    **task.detail,
                     attempts=attempts[index],
                 )
-                results[index] = self._run_serial(*tasks[index])
+                if task.on_fallback is not None:
+                    task.on_fallback("attempts exhausted")
+                results[index] = task.serial()
                 self.stats.serial_fallbacks += 1
         return retryable
 
@@ -1028,12 +1114,15 @@ class ExperimentContext:
             ):
                 continue
             by_stack.setdefault(CONFIG_STACKS[pair[1]], []).append(pair)
-        for stack, group in by_stack.items():
-            requests = [
+        solved = self.thermal_grouped({
+            stack: [
                 ([self.power(benchmark, label)] * CORE_COUNT, 1.0)
                 for benchmark, label in group
             ]
-            for pair, result in zip(group, self.thermal_batch(requests, stack)):
+            for stack, group in by_stack.items()
+        })
+        for stack, group in by_stack.items():
+            for pair, result in zip(group, solved[stack]):
                 self._thermals[pair] = result
         return {pair: self._thermals[pair] for pair in pairs}
 
@@ -1059,16 +1148,37 @@ class ExperimentContext:
         """
         if not requests:
             return []
-        plan = self.floorplan(stack)
-        solver = self.solver(stack)
-        ny, nx = solver.chip_grid_shape()
-        batches = []
-        for breakdowns, power_scale in requests:
-            watts = build_power_map(plan, breakdowns)
-            if power_scale != 1.0:
-                watts = {key: value * power_scale for key, value in watts.items()}
-            batches.append(rasterize(plan, watts, nx, ny))
-        return self.solve_thermal(solver, batches)
+        return self.thermal_grouped({stack: list(requests)})[stack]
+
+    def thermal_grouped(
+        self,
+        requests_by_stack: Dict[StackKind, Sequence[Tuple[List[PowerBreakdown], float]]],
+    ) -> Dict[StackKind, List[ThermalResult]]:
+        """Thermal maps for (breakdowns, power scale) requests on several
+        stacks at once — one thermal-engine dispatch for the whole grid.
+
+        Submitting every stack's requests together lets the solve engine
+        see all distinct geometries up front and fan their factorizations
+        out across the worker pool (:meth:`solve_thermal_groups`) instead
+        of blocking on one stack at a time.
+        """
+        groups: List[Tuple[ThermalSolver, List[Sequence]]] = []
+        order: List[StackKind] = []
+        for stack, requests in requests_by_stack.items():
+            plan = self.floorplan(stack)
+            solver = self.solver(stack)
+            ny, nx = solver.chip_grid_shape()
+            batches = []
+            for breakdowns, power_scale in requests:
+                watts = build_power_map(plan, breakdowns)
+                if power_scale != 1.0:
+                    watts = {key: value * power_scale
+                             for key, value in watts.items()}
+                batches.append(rasterize(plan, watts, nx, ny))
+            groups.append((solver, batches))
+            order.append(stack)
+        solved = self.solve_thermal_groups(groups)
+        return dict(zip(order, solved))
 
     def solve_thermal(
         self,
@@ -1085,80 +1195,258 @@ class ExperimentContext:
         batches = list(batches)
         if not batches:
             return []
-        results: List[Optional[ThermalResult]] = [None] * len(batches)
-        pending: List[Tuple[int, str]] = []
-        for position, grids in enumerate(batches):
-            key = thermal_key(solver, grids)
-            if self.cache is not None:
-                cached = self.cache.load(key, ThermalResult)
-                if cached is not None:
-                    self.stats.thermal_disk_hits += 1
-                    results[position] = cached
+        return self.solve_thermal_groups([(solver, batches)])[0]
+
+    def solve_thermal_groups(
+        self,
+        groups: Sequence[Tuple[ThermalSolver, Sequence[Sequence]]],
+    ) -> List[List[ThermalResult]]:
+        """The parallel thermal solve engine: many geometry groups at once.
+
+        Each group is one solver (geometry) with its pending power-grid
+        batches.  Entries are deduplicated by thermal key within the
+        call, served from the on-disk cache when possible, coordinated
+        with peer processes through the claim protocol (two processes
+        never factorize the same geometry concurrently), and the misses
+        are fanned out per *geometry* across the worker pool — each
+        worker assembles, factorizes, and backsubstitutes every
+        right-hand side for its geometry and ships the temperature
+        arrays back (SuperLU handles never cross the process boundary).
+        Solves are deterministic, so results are byte-identical to the
+        serial path.
+        """
+        groups = [(solver, list(batches)) for solver, batches in groups]
+        results: List[List[Optional[ThermalResult]]] = [
+            [None] * len(batches) for _, batches in groups
+        ]
+        seen: Dict[str, dict] = {}
+        work: List[dict] = []
+        waiting: List[dict] = []
+        for gi, (solver, batches) in enumerate(groups):
+            for pos, grids in enumerate(batches):
+                key = thermal_key(solver, grids)
+                unit = seen.get(key)
+                if unit is not None:  # duplicate within this call
+                    unit["targets"].append((gi, pos))
                     continue
-            pending.append((position, key))
-        if pending:
-            start = time.perf_counter()
-            solved = self._solve_batches(solver, [batches[pos] for pos, _ in pending])
-            self.stats.add_stage("thermal", time.perf_counter() - start)
-            for (position, key), result in zip(pending, solved):
-                self.stats.thermal_solved += 1
-                results[position] = result
                 if self.cache is not None:
-                    self.cache.store(key, result)
+                    cached = self.cache.load(key, ThermalResult)
+                    if cached is not None:
+                        self.stats.thermal_disk_hits += 1
+                        results[gi][pos] = cached
+                        continue
+                unit = {"key": key, "solver": solver, "grids": grids,
+                        "targets": [(gi, pos)], "claimed": False}
+                seen[key] = unit
+                if self.cache is not None and not self.cache.try_claim(key):
+                    waiting.append(unit)
+                else:
+                    unit["claimed"] = self.cache is not None
+                    work.append(unit)
+        if work or waiting:
+            start = time.perf_counter()
+            try:
+                if work:
+                    self._solve_thermal_units(work, results)
+                if waiting:
+                    self._await_thermal_claims(waiting, results)
+            finally:
+                self.stats.add_stage("thermal", time.perf_counter() - start)
         return results
 
-    def _solve_batches(
-        self, solver: ThermalSolver, grids: List[Sequence]
-    ) -> List[ThermalResult]:
-        """Solve in-process, or — above the ``REPRO_THERMAL_SUBPROC_CELLS``
-        unknown-count threshold — in a supervised subprocess."""
-        threshold = self.thermal_subproc_cells
-        cells = len(solver.stack.layers) * solver.ny * solver.nx
-        if threshold is None or cells < threshold:
-            return solver.solve_many(grids)
-        return self._solve_supervised(solver, grids)
+    def _solve_thermal_units(self, units: List[dict], results) -> None:
+        """Solve units (one per distinct thermal key), scatter, persist.
 
-    def _solve_supervised(
-        self, solver: ThermalSolver, grids: List[Sequence]
-    ) -> List[ThermalResult]:
-        """One batched solve in a single-use, deadline-supervised subprocess.
-
-        SuperLU on a huge grid can OOM-abort the interpreter; isolating
-        the factorization the way simulation workers already are means a
-        crash or hang costs one timeout and an in-process fallback, not
-        the campaign.  Solves are deterministic, so both paths produce
-        bit-identical results.
+        Units sharing a geometry are merged into one group so their
+        right-hand sides share a factorization wherever the group runs;
+        claims taken in :meth:`solve_thermal_groups` (or stolen during
+        the wait) are always released, even when a solve raises.
         """
-        from repro.experiments.supervised import solve_batches_task
-
-        pool = self._new_pool(1)
-        if pool is None:
-            self.stats.thermal_subproc_fallbacks += 1
-            self.stats.record_event("thermal_subproc_unavailable",
-                                    batches=len(grids))
-            return solver.solve_many(grids)
         try:
-            future = pool.submit(
-                solve_batches_task, solver.stack, solver.floorplan,
-                solver.nx, solver.ny, solver.spreader_mm, grids,
+            by_geometry: Dict[Tuple, List[dict]] = {}
+            for unit in units:
+                key = unit["solver"].matrix_key()
+                by_geometry.setdefault(key, []).append(unit)
+            grouped = list(by_geometry.values())
+            solved = self._dispatch_thermal([
+                (members[0]["solver"], [u["grids"] for u in members])
+                for members in grouped
+            ])
+            for members, outs in zip(grouped, solved):
+                for unit, result in zip(members, outs):
+                    for gi, pos in unit["targets"]:
+                        results[gi][pos] = result
+                        self.stats.thermal_solved += 1
+                    if self.cache is not None:
+                        self.cache.store(unit["key"], result)
+        finally:
+            if self.cache is not None:
+                for unit in units:
+                    if unit["claimed"]:
+                        self.cache.release_claim(unit["key"])
+
+    def _await_thermal_claims(self, waiting: List[dict], results) -> None:
+        """Collectively wait on peer-claimed thermal keys, stealing as we go.
+
+        The thermal twin of :meth:`_await_claims`: one bounded deadline
+        covers the whole set, landed results are adopted
+        (``claim_dedup``), abandoned claims are taken over and solved
+        immediately (``claim_steals``), and keys still claimed at the
+        deadline are solved uncoordinated.
+        """
+        cache = self.cache
+        for unit in waiting:
+            self.stats.claim_waits += 1
+            self.stats.record_event("claim_wait", key=unit["key"][:16])
+        deadline = time.monotonic() + self.claim_wait_s
+        remaining = list(waiting)
+        while remaining:
+            still = []
+            stolen = []
+            for unit in remaining:
+                key = unit["key"]
+                result = cache.load(key, ThermalResult)
+                if result is not None:
+                    self.stats.claim_dedup += 1
+                    self.stats.record_event("claim_dedup", key=key[:16])
+                    for gi, pos in unit["targets"]:
+                        results[gi][pos] = result
+                    continue
+                if cache.claim_stale(key, self.claim_stale_s):
+                    cache.break_claim(key)
+                    self.stats.claim_takeovers += 1
+                    self.stats.record_event(
+                        "claim_takeover", key=key[:16], reason="stale"
+                    )
+                    unit["claimed"] = cache.try_claim(key)
+                    stolen.append(unit)
+                    continue
+                if cache.claim_holder(key) is None:
+                    # Holder released without storing (full disk, crash
+                    # between release and store): claim and solve.
+                    self.stats.claim_takeovers += 1
+                    self.stats.record_event(
+                        "claim_takeover", key=key[:16], reason="released"
+                    )
+                    unit["claimed"] = cache.try_claim(key)
+                    stolen.append(unit)
+                    continue
+                still.append(unit)
+            if stolen:
+                self.stats.claim_steals += len(stolen)
+                self.stats.record_event("claim_steal", tasks=len(stolen))
+                self._solve_thermal_units(stolen, results)
+            remaining = still
+            if not remaining:
+                return
+            if time.monotonic() >= deadline:
+                break
+            time.sleep(self.claim_poll_s)
+        for unit in remaining:
+            self.stats.claim_takeovers += 1
+            self.stats.record_event(
+                "claim_takeover", key=unit["key"][:16], reason="wait_expired"
             )
-            solved = future.result(timeout=self.thermal_timeout_s)
-        except Exception as exc:  # timeout, worker death, unpicklable input
-            self._abandon_pool(pool, kill=True)
-            pool = None
+            unit["claimed"] = False  # solve uncoordinated, no claim taken
+        self._solve_thermal_units(remaining, results)
+
+    def _thermal_cells(self, solver: ThermalSolver) -> int:
+        """Unknown count of one geometry's linear system."""
+        return len(solver.stack.layers) * solver.ny * solver.nx
+
+    def _thermal_subproc_fallback(self, batches: int) -> Callable[[str], None]:
+        """The supervised-path fallback hook: count, log, and warn."""
+        def on_fallback(reason: str) -> None:
             self.stats.thermal_subproc_fallbacks += 1
             self.stats.record_event("thermal_subproc_fallback",
-                                    error=repr(exc), batches=len(grids))
+                                    reason=reason, batches=batches)
             warnings.warn(
-                f"supervised thermal solve failed ({exc!r}); "
-                f"solving {len(grids)} batch(es) in-process",
+                f"supervised thermal solve failed ({reason}); "
+                f"solving {batches} batch(es) in-process",
                 RuntimeWarning,
-                stacklevel=4,
+                stacklevel=2,
             )
-            return solver.solve_many(grids)
-        else:
-            self.stats.thermal_subproc_solves += 1
-            return solved
+        return on_fallback
+
+    def _dispatch_thermal(
+        self, geometry_groups: List[Tuple[ThermalSolver, List[Sequence]]]
+    ) -> List[List[ThermalResult]]:
+        """Solve geometry groups inline or across the worker pool.
+
+        The pool path pays a spin-up and forfeits the parent's
+        factorization LRU, so it only engages when several distinct
+        geometries are pending (``thermal_parallel_min_groups``) — or
+        when a group is oversized (``REPRO_THERMAL_SUBPROC_CELLS``), in
+        which case crash isolation demands a subprocess even for a
+        single group on a single-job context: that is the supervised
+        solve of old, folded into the same worker path.  Oversized
+        groups keep its one-attempt contract — a crash, OOM kill, or
+        hang costs one timeout and an in-process fallback (with a
+        warning), not the retry ladder.
+        """
+        threshold = self.thermal_subproc_cells
+        oversized = [
+            threshold is not None and self._thermal_cells(solver) >= threshold
+            for solver, _ in geometry_groups
+        ]
+        use_pool = any(oversized) or (
+            self.jobs > 1
+            and len(geometry_groups) >= self.thermal_parallel_min_groups
+        )
+        self.stats.thermal_groups += len(geometry_groups)
+        if not use_pool:
+            out = []
+            for solver, grids in geometry_groups:
+                t0 = time.perf_counter()
+                out.append(solver.solve_many(grids))
+                self.stats.record_event(
+                    "thermal_group", geometry=solver.geometry_id(),
+                    batches=len(grids), cells=self._thermal_cells(solver),
+                    where="inline",
+                    seconds=round(time.perf_counter() - t0, 3),
+                )
+            return out
+
+        from repro.experiments.supervised import solve_group_task
+
+        tasks = []
+        for (solver, grids), big in zip(geometry_groups, oversized):
+            tasks.append(_PoolTask(
+                fn=solve_group_task,
+                args=(solver.stack, solver.floorplan, solver.nx, solver.ny,
+                      solver.spreader_mm, grids),
+                serial=(lambda s=solver, g=grids: (s.solve_many(g), None)),
+                detail={"geometry": solver.geometry_id(),
+                        "batches": len(grids),
+                        "cells": self._thermal_cells(solver)},
+                timeout_s=self.thermal_timeout_s,
+                max_attempts=1 if big else self.max_task_attempts,
+                on_fallback=(
+                    self._thermal_subproc_fallback(len(grids)) if big else None
+                ),
+            ))
+        self.stats.begin_batch()
+        try:
+            outs = self._run_pool_tasks(tasks, kind="thermal solve",
+                                        force_pool=True)
+            results = []
+            for (solver, grids), big, out in zip(geometry_groups, oversized,
+                                                 outs):
+                solved, worker_stats = out
+                if worker_stats is not None:
+                    self.stats.thermal_worker_groups += 1
+                    self.stats.thermal_worker_factorizations += (
+                        worker_stats.get("factorizations", 0)
+                    )
+                    if big:
+                        self.stats.thermal_subproc_solves += 1
+                self.stats.record_event(
+                    "thermal_group", geometry=solver.geometry_id(),
+                    batches=len(grids), cells=self._thermal_cells(solver),
+                    where="inline" if worker_stats is None else "worker",
+                    seconds=(worker_stats or {}).get("seconds"),
+                )
+                results.append(solved)
+            return results
         finally:
-            if pool is not None:
-                pool.shutdown()
+            self.stats.end_batch()

@@ -95,11 +95,10 @@ def run_dvfs(
 
     base_run = context.run(benchmark, "Base")
     planar_breakdown = model.evaluate(base_run, StackKind.PLANAR_2D)
-    planar_thermal = context.thermal_for_breakdowns(
-        [planar_breakdown] * CORE_COUNT, StackKind.PLANAR_2D
-    )
 
-    points: List[DVFSPoint] = []
+    # Collect every sweep point's thermal request first, then submit the
+    # planar envelope and the whole 3D sweep as one engine dispatch.
+    sweep: List[tuple] = []
     for clock, config in zip(clocks, sweep_configs):
         run = context.run_config(benchmark, config)
         breakdown = model.evaluate(run, StackKind.STACKED_3D)
@@ -111,18 +110,27 @@ def run_dvfs(
         clock_watts = breakdown.clock_watts * scaled_modules
         total = dynamic + clock_watts + breakdown.leakage_watts
         power_scale = total / breakdown.total_watts
-        thermal = context.thermal_for_breakdowns(
-            [breakdown] * CORE_COUNT, StackKind.STACKED_3D, power_scale=power_scale
+        sweep.append((clock, voltage_scale, run, total, breakdown, power_scale))
+    solved = context.thermal_grouped({
+        StackKind.PLANAR_2D: [([planar_breakdown] * CORE_COUNT, 1.0)],
+        StackKind.STACKED_3D: [
+            ([breakdown] * CORE_COUNT, power_scale)
+            for _, _, _, _, breakdown, power_scale in sweep
+        ],
+    })
+    planar_thermal = solved[StackKind.PLANAR_2D][0]
+
+    points = [
+        DVFSPoint(
+            clock_ghz=clock,
+            voltage_scale=voltage_scale,
+            ipns=run.ipns,
+            chip_watts=CORE_COUNT * total,
+            peak_k=thermal.peak_temperature,
         )
-        points.append(
-            DVFSPoint(
-                clock_ghz=clock,
-                voltage_scale=voltage_scale,
-                ipns=run.ipns,
-                chip_watts=CORE_COUNT * total,
-                peak_k=thermal.peak_temperature,
-            )
-        )
+        for (clock, voltage_scale, run, total, _, _), thermal
+        in zip(sweep, solved[StackKind.STACKED_3D])
+    ]
     return DVFSResult(
         benchmark=benchmark,
         points=points,

@@ -13,6 +13,12 @@ the faults actually happen, so this module makes them happen on demand:
   worker sleep forever (a deadlock/livelock stand-in), exercising the
   per-task deadline supervision (``REPRO_TASK_TIMEOUT_S``): without it
   the batch blocks on ``future.result()`` indefinitely.
+* **thermal-worker faults** — :func:`arm_thermal_worker_kills` /
+  :func:`arm_thermal_worker_hangs` tokens are claimed only at the
+  thermal solve engine's fault point
+  (:func:`maybe_inject_thermal_fault`), so a kill or hang can be aimed
+  at a geometry-group factorization mid-batch without ever landing on a
+  simulation task; generic tokens still reach thermal workers too.
 * **mid-simulation faults** — :func:`arm_midsim_faults` tokens carry an
   instruction-index trigger; the claiming worker arms
   :data:`repro.cpu.pipeline.FAULT_HOOK` and then dies (or hangs) *in the
@@ -53,6 +59,11 @@ _KILL_PREFIX = "kill-"
 _RAISE_PREFIX = "raise-"
 _HANG_PREFIX = "hang-"
 _MIDSIM_PREFIX = "midsim-"
+#: Thermal-worker-only tokens: ``thermal-kill-NNNN`` / ``thermal-hang-NNNN``.
+#: Simulation workers never claim these, so a thermal fault can be aimed
+#: at the solve engine without perturbing the simulation stage.
+_THERMAL_KILL_PREFIX = "thermal-kill-"
+_THERMAL_HANG_PREFIX = "thermal-hang-"
 _TOKEN_SUFFIX = ".token"
 
 #: midsim token names: ``midsim-<action>-<instruction-index>-NNNN.token``
@@ -83,6 +94,22 @@ def arm_worker_hangs(directory, hangs: int = 1) -> List[Path]:
     batch.  The hung process is reaped when the supervisor recycles the
     pool (SIGTERM), so tokens do not leak workers."""
     return _arm(directory, _HANG_PREFIX, hangs)
+
+
+def arm_thermal_worker_kills(directory, kills: int = 1) -> List[Path]:
+    """Create kill tokens only thermal solve workers claim.
+
+    A claiming thermal worker dies at group entry (``os._exit``, like a
+    SuperLU OOM abort mid-factorization), exercising the thermal fan-out's
+    retry/pool-restart ladder without touching simulation tasks.
+    """
+    return _arm(directory, _THERMAL_KILL_PREFIX, kills)
+
+
+def arm_thermal_worker_hangs(directory, hangs: int = 1) -> List[Path]:
+    """Create sleep-forever tokens only thermal solve workers claim,
+    exercising the thermal deadline (``REPRO_THERMAL_TIMEOUT_S``)."""
+    return _arm(directory, _THERMAL_HANG_PREFIX, hangs)
 
 
 def arm_midsim_faults(
@@ -178,6 +205,22 @@ def maybe_inject_worker_fault() -> None:
         _arm_midsim(midsim)
     if _claim_token(_RAISE_PREFIX):
         raise InjectedWorkerError("injected worker fault (raise token claimed)")
+
+
+def maybe_inject_thermal_fault() -> None:
+    """Fault point for thermal solve workers; no-op unless armed.
+
+    Claims the thermal-only tokens first (kill, then hang), then falls
+    through to :func:`maybe_inject_worker_fault` so generic tokens keep
+    reaching thermal workers too — the supervised-solve path has always
+    honoured them, and the combined-fault CI scenarios rely on whichever
+    worker claims a token first.
+    """
+    if _claim_token(_THERMAL_KILL_PREFIX):
+        os._exit(KILL_EXIT_CODE)
+    if _claim_token(_THERMAL_HANG_PREFIX):
+        _hang_forever()
+    maybe_inject_worker_fault()
 
 
 # ---------------------------------------------------------------------- #
@@ -300,6 +343,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="worker raise tokens to arm (exception)")
     parser.add_argument("--hangs", type=int, default=0, metavar="N",
                         help="sleep-forever tokens to arm (deadlock stand-in)")
+    parser.add_argument("--thermal-kills", type=int, default=0, metavar="N",
+                        help="thermal-worker-only kill tokens to arm")
+    parser.add_argument("--thermal-hangs", type=int, default=0, metavar="N",
+                        help="thermal-worker-only hang tokens to arm")
     parser.add_argument("--midsim-kills", type=int, default=0, metavar="N",
                         help="mid-simulation kill tokens to arm")
     parser.add_argument("--midsim-hangs", type=int, default=0, metavar="N",
@@ -311,6 +358,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     tokens = arm_worker_kills(args.directory, args.kills) if args.kills else []
     tokens += arm_worker_raises(args.directory, args.raises) if args.raises else []
     tokens += arm_worker_hangs(args.directory, args.hangs) if args.hangs else []
+    if args.thermal_kills:
+        tokens += arm_thermal_worker_kills(args.directory, args.thermal_kills)
+    if args.thermal_hangs:
+        tokens += arm_thermal_worker_hangs(args.directory, args.thermal_hangs)
     if args.midsim_kills:
         tokens += arm_midsim_faults(args.directory, args.midsim_kills,
                                     "kill", args.at_instruction)

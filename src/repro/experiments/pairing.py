@@ -76,18 +76,26 @@ def run_pairing(
     context.prefetch_configs((name, core_config) for name in members)
     model = context.power_model()
 
-    points: List[PairingPoint] = []
-    for pair in pairs:
-        run = DualCoreRun(
+    runs = [
+        DualCoreRun(
             core0=context.run_config(pair[0], core_config),
             core1=context.run_config(pair[1], core_config),
         )
-        breakdowns = [
-            model.evaluate(result, StackKind.STACKED_3D) for result in run.results
-        ]
-        thermal: ThermalResult = context.thermal_for_breakdowns(
-            breakdowns, StackKind.STACKED_3D
-        )
+        for pair in pairs
+    ]
+    pair_breakdowns = [
+        [model.evaluate(result, StackKind.STACKED_3D) for result in run.results]
+        for run in runs
+    ]
+    # One batched dispatch: every pairing shares the 3D geometry, so all
+    # maps solve against a single factorization.
+    thermals: List[ThermalResult] = context.thermal_batch(
+        [(breakdowns, 1.0) for breakdowns in pair_breakdowns],
+        StackKind.STACKED_3D,
+    )
+    points: List[PairingPoint] = []
+    for pair, run, breakdowns, thermal in zip(pairs, runs, pair_breakdowns,
+                                              thermals):
         name, die, _ = thermal.hottest_block()
         points.append(
             PairingPoint(

@@ -54,18 +54,17 @@ def run_power_density(context: Optional[ExperimentContext] = None) -> PowerDensi
     model = context.power_model()
 
     planar_breakdown = model.evaluate(base_run, StackKind.PLANAR_2D)
-    planar = context.thermal_for_breakdowns(
-        [planar_breakdown] * CORE_COUNT, StackKind.PLANAR_2D
-    )
-
     # The same workload's activity evaluated as a stack (uniform die
     # spreading, no herding, no 3D energy benefit credited), rescaled to
-    # exactly the planar total power.
+    # exactly the planar total power; both maps solve in one dispatch.
     stacked_breakdown = model.evaluate(base_run, StackKind.STACKED_3D)
     scale = planar_breakdown.total_watts / stacked_breakdown.total_watts
-    iso = context.thermal_for_breakdowns(
-        [stacked_breakdown] * CORE_COUNT, StackKind.STACKED_3D, power_scale=scale
-    )
+    solved = context.thermal_grouped({
+        StackKind.PLANAR_2D: [([planar_breakdown] * CORE_COUNT, 1.0)],
+        StackKind.STACKED_3D: [([stacked_breakdown] * CORE_COUNT, scale)],
+    })
+    planar = solved[StackKind.PLANAR_2D][0]
+    iso = solved[StackKind.STACKED_3D][0]
     return PowerDensityResult(
         planar=planar,
         iso_power=iso,

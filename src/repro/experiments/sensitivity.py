@@ -104,30 +104,39 @@ def run_sensitivity(
     plan = context.floorplan(StackKind.STACKED_3D)
     watts = build_power_map(plan, [breakdown] * CORE_COUNT)
     grid = context.settings.thermal_grid
-    # The chip grid shape depends only on (floorplan, nx, ny), so every
-    # sweep stack shares one rasterized power map.
-    grids = None
 
-    def solve(stack: ThermalStack) -> float:
-        nonlocal grids
-        solver = ThermalSolver(stack, plan, grid, grid)
-        if grids is None:
-            ny, nx = solver.chip_grid_shape()
-            grids = rasterize(plan, watts, nx, ny)
-        return context.solve_thermal(solver, [grids])[0].peak_temperature
-
-    nominal = solve(_stack_with(0.17, 50.0, 0.25))
-    points: List[SensitivityPoint] = []
-    for parameter, nominal_value, values in SWEEPS:
+    # Build every sweep point's solver up front and submit the whole
+    # grid as one dispatch: each distinct packaging geometry needs its
+    # own SuperLU factorization (the dominant cost of this study), and
+    # handing them to the solve engine together lets it fan them out
+    # across the worker pool instead of factorizing one at a time inline.
+    sweep_settings: List[Tuple[str, float, Tuple[float, float, float]]] = [
+        ("nominal", 0.0, (0.17, 50.0, 0.25)),
+    ]
+    for parameter, _nominal_value, values in SWEEPS:
         for value in values:
             convection = value if parameter == "convection K/W" else 0.17
             tim = value if parameter == "TIM W/mK" else 50.0
             copper = value if parameter == "via copper fraction" else 0.25
-            points.append(
-                SensitivityPoint(
-                    parameter=parameter,
-                    value=value,
-                    peak_k=solve(_stack_with(convection, tim, copper)),
-                )
-            )
+            sweep_settings.append((parameter, value, (convection, tim, copper)))
+
+    # The chip grid shape depends only on (floorplan, nx, ny), so every
+    # sweep stack shares one rasterized power map.
+    grids = None
+    groups = []
+    for _parameter, _value, (convection, tim, copper) in sweep_settings:
+        solver = ThermalSolver(_stack_with(convection, tim, copper),
+                               plan, grid, grid)
+        if grids is None:
+            ny, nx = solver.chip_grid_shape()
+            grids = rasterize(plan, watts, nx, ny)
+        groups.append((solver, [grids]))
+    solved = context.solve_thermal_groups(groups)
+
+    nominal = solved[0][0].peak_temperature
+    points = [
+        SensitivityPoint(parameter=parameter, value=value,
+                         peak_k=result[0].peak_temperature)
+        for (parameter, value, _), result in zip(sweep_settings[1:], solved[1:])
+    ]
     return SensitivityResult(nominal_peak_k=nominal, points=points)

@@ -1,17 +1,22 @@
-"""Supervised subprocess execution for large thermal solves.
+"""Worker-side thermal solving for the parallel thermal engine.
 
 SuperLU factorizations grow superlinearly with the grid: a huge sweep
 configuration can exhaust memory and abort the interpreter, and unlike
 simulation tasks the thermal solve historically ran *in the parent
 process*, so one oversized factorization took the whole campaign down.
 
-:meth:`repro.experiments.context.ExperimentContext.solve_thermal` routes
-solve batches whose system exceeds ``REPRO_THERMAL_SUBPROC_CELLS``
-unknowns through :func:`solve_batches_task` in a single-use worker
-process, supervised with a timeout; a crash, OOM kill, or hang in the
-subprocess costs one timeout and an in-process fallback solve instead of
-the parent.  Solves are deterministic, so the subprocess result is
-bit-identical to the in-process one.
+:func:`solve_group_task` is the worker entry point of
+:meth:`repro.experiments.context.ExperimentContext.solve_thermal_groups`:
+it rebuilds the solver from pure geometry data (a built solver holds an
+unpicklable SuperLU handle), factorizes once, solves every right-hand
+side of its geometry group, and ships back the temperature arrays plus
+its factorization-LRU delta.  The same entry point serves two callers —
+the geometry fan-out that parallelizes cold thermal stages across the
+pool, and the supervised path for solves whose system exceeds
+``REPRO_THERMAL_SUBPROC_CELLS`` unknowns, where a crash, OOM kill, or
+hang in the subprocess costs one timeout and an in-process fallback
+solve instead of the parent.  Solves are deterministic, so worker
+results are bit-identical to in-process ones.
 
 When the variable is unset, :func:`default_subproc_cells` supplies a
 threshold calibrated to this machine's RAM (see its docstring for the
@@ -22,9 +27,10 @@ supervision entirely, and a positive integer overrides the calibration.
 from __future__ import annotations
 
 import os
-from typing import List, Optional, Sequence
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.thermal.solver import ThermalResult, ThermalSolver
+from repro.thermal.solver import FACTORIZATION_STATS, ThermalResult, ThermalSolver
 
 #: ``REPRO_THERMAL_SUBPROC_CELLS`` values that disable supervision.
 DISABLED_VALUES = frozenset({"0", "off", "no", "false", "none"})
@@ -85,6 +91,43 @@ def default_subproc_cells() -> int:
     return max(int(cells), MIN_SUBPROC_CELLS)
 
 
+def solve_group_task(
+    stack,
+    floorplan,
+    nx: int,
+    ny: int,
+    spreader_mm: float,
+    batches: Sequence[Sequence],
+) -> Tuple[List[ThermalResult], Dict[str, float]]:
+    """Worker entry point: solve one geometry group, report solve stats.
+
+    The solver is reconstructed from its constructor arguments (geometry
+    is pure data) rather than pickled, because a built solver holds an
+    unpicklable SuperLU handle; its factorization lands in the *worker's*
+    process-wide LRU, so a long-lived worker re-solving the same
+    geometry skips ``gstrf`` exactly like the parent would.  Returns the
+    temperature results together with this task's factorization-LRU
+    delta and wall-clock, which the parent folds into ``ContextStats``
+    (worker counters are otherwise invisible across the process
+    boundary).  The fault point mirrors the simulation workers' — no-op
+    unless a token directory is armed.
+    """
+    from repro.experiments.faults import maybe_inject_thermal_fault
+
+    maybe_inject_thermal_fault()
+    start = time.perf_counter()
+    factorizations = FACTORIZATION_STATS.factorizations
+    cache_hits = FACTORIZATION_STATS.cache_hits
+    solver = ThermalSolver(stack, floorplan, nx, ny, spreader_mm)
+    results = solver.solve_many(batches)
+    stats = {
+        "factorizations": FACTORIZATION_STATS.factorizations - factorizations,
+        "cache_hits": FACTORIZATION_STATS.cache_hits - cache_hits,
+        "seconds": round(time.perf_counter() - start, 3),
+    }
+    return results, stats
+
+
 def solve_batches_task(
     stack,
     floorplan,
@@ -93,15 +136,5 @@ def solve_batches_task(
     spreader_mm: float,
     batches: Sequence[Sequence],
 ) -> List[ThermalResult]:
-    """Worker entry point: rebuild the solver and run the batched solve.
-
-    The solver is reconstructed from its constructor arguments (geometry
-    is pure data) rather than pickled, because a built solver holds an
-    unpicklable SuperLU handle.  The fault point mirrors the simulation
-    workers' — no-op unless a token directory is armed.
-    """
-    from repro.experiments.faults import maybe_inject_worker_fault
-
-    maybe_inject_worker_fault()
-    solver = ThermalSolver(stack, floorplan, nx, ny, spreader_mm)
-    return solver.solve_many(batches)
+    """Back-compat wrapper around :func:`solve_group_task`: results only."""
+    return solve_group_task(stack, floorplan, nx, ny, spreader_mm, batches)[0]

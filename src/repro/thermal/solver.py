@@ -24,6 +24,7 @@ equivalence test.
 
 from __future__ import annotations
 
+import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -195,6 +196,12 @@ class ThermalSolver:
             self._chip_nx,
             self._chip_ny,
         )
+
+    def geometry_id(self) -> str:
+        """Short stable digest of :meth:`matrix_key`, for logs and events
+        (the full key is an unwieldy nested tuple)."""
+        digest = hashlib.sha256(repr(self.matrix_key()).encode("utf-8"))
+        return digest.hexdigest()[:12]
 
     def result_key(self) -> Tuple:
         """:meth:`matrix_key` plus everything else a solved
