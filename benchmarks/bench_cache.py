@@ -1,0 +1,134 @@
+"""Microbenchmark of the result cache's sharded size ledger.
+
+Times the cache paths a report run pays: store throughput with the
+ledger appending a delta per store (unbounded), warm load throughput,
+ledger compaction, a full repair scan, and store throughput under a
+tight ``REPRO_CACHE_MAX_MB`` cap where every store runs ledger-driven
+eviction.  Asserts the ledger invariants while doing so — the ledger
+total must equal recursive disk usage exactly after each phase, and the
+watermark must hold after the capped phase — so the benchmark doubles
+as an exactness gate.  Emits a ``BENCH_cache.json`` payload that CI
+records next to ``BENCH_report.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_cache.py [--out BENCH_cache.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+import time
+
+from repro.experiments.cache import LEDGER_SHARDS, ResultCache
+
+#: Stores per phase; payloads are incompressible so sizes are honest.
+ENTRIES = 200
+PAYLOAD_BYTES = 4096
+
+#: The capped phase's high-water mark: holds ~1/4 of the stores, so the
+#: eviction path runs on most of them.
+CAP_MB = 256 / 1024
+
+
+def _exact(cache: ResultCache) -> bool:
+    return cache.ledger.total_bytes() == \
+        cache.size_bytes() + cache.trace_store().size_bytes()
+
+
+def run(out_path: str) -> dict:
+    workdir = tempfile.mkdtemp(prefix="bench-cache-")
+    keys = [hashlib.sha256(f"entry-{i}".encode()).hexdigest()
+            for i in range(ENTRIES)]
+    payloads = [os.urandom(PAYLOAD_BYTES) for _ in range(ENTRIES)]
+    try:
+        cache = ResultCache(os.path.join(workdir, "unbounded"))
+        t0 = time.perf_counter()
+        for key, blob in zip(keys, payloads):
+            cache.store(key, blob)
+        t_store = time.perf_counter() - t0
+        assert _exact(cache), "ledger drifted from du after unbounded stores"
+
+        t0 = time.perf_counter()
+        for key in keys:
+            assert cache.load(key, expected_type=bytes) is not None
+        t_load = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        compacted = cache.ledger.compact()
+        t_compact = time.perf_counter() - t0
+        assert _exact(cache), "compaction changed the ledger total"
+
+        t0 = time.perf_counter()
+        repaired = cache.repair_ledger()
+        t_repair = time.perf_counter() - t0
+        assert repaired == cache.size_bytes(), "repair scan disagrees with du"
+
+        capped = ResultCache(os.path.join(workdir, "capped"), max_mb=CAP_MB)
+        t0 = time.perf_counter()
+        for key, blob in zip(keys, payloads):
+            capped.store(key, blob)
+        t_capped = time.perf_counter() - t0
+        assert _exact(capped), "ledger drifted from du under eviction"
+        assert capped.ledger.total_bytes() <= capped.max_bytes, \
+            "watermark violated after the capped phase"
+
+        payload = {
+            "workload": {
+                "entries": ENTRIES,
+                "payload_bytes": PAYLOAD_BYTES,
+                "cap_bytes": capped.max_bytes,
+                "ledger_shards": LEDGER_SHARDS,
+            },
+            "stage_seconds": {
+                "store": round(t_store, 3),
+                "load": round(t_load, 3),
+                "compact": round(t_compact, 4),
+                "repair": round(t_repair, 4),
+                "capped_store": round(t_capped, 3),
+            },
+            "stores_per_second": round(ENTRIES / t_store, 1),
+            "loads_per_second": round(ENTRIES / t_load, 1),
+            "capped_stores_per_second": round(ENTRIES / t_capped, 1),
+            "ledger": {
+                "appends": cache.ledger.appends + capped.ledger.appends,
+                "compactions": cache.ledger.compactions
+                + capped.ledger.compactions,
+                "explicit_compaction_ran": bool(compacted),
+                "size_evictions": capped.evictions_size,
+                "exact_after_every_phase": True,  # the asserts above
+                "watermark_holds": True,
+            },
+        }
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    with open(out_path, "w", encoding="utf-8") as stream:
+        json.dump(payload, stream, indent=2)
+        stream.write("\n")
+    return payload
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_cache.json",
+                        help="output JSON path (default: %(default)s)")
+    args = parser.parse_args()
+    payload = run(args.out)
+    stages = payload["stage_seconds"]
+    print(f"store {payload['stores_per_second']}/s  "
+          f"load {payload['loads_per_second']}/s  "
+          f"capped store {payload['capped_stores_per_second']}/s "
+          f"({payload['ledger']['size_evictions']} size evictions)")
+    print(f"compact {stages['compact']}s  repair {stages['repair']}s  "
+          f"ledger exact after every phase")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

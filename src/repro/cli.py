@@ -18,9 +18,10 @@ Usage::
     python -m repro mechanisms
     python -m repro report   [--fast] [--jobs N] [-o report.md]
                              [--stats stats.json] [--log-json events.jsonl]
+    python -m repro metrics  [--out metrics.json]
     python -m repro simulate BENCHMARK [--config 3D] [--length N]
     python -m repro trace BENCHMARK [--length N] [-o trace.jsonl.gz]
-    python -m repro cache [info|list|clear]
+    python -m repro cache [info|list|clear|prune]
     python -m repro list
 
 ``--fast`` runs a reduced benchmark set at shorter trace lengths.
@@ -47,7 +48,7 @@ from repro.experiments import (
     run_width_stats,
 )
 from repro.experiments.dvfs import run_dvfs
-from repro.experiments.report import generate_report
+from repro.experiments.report import generate_report, stats_payload
 from repro.experiments.leakage import run_leakage_feedback
 from repro.experiments.pairing import run_pairing
 from repro.experiments.roadmap import run_roadmap
@@ -155,13 +156,19 @@ def _cmd_cache(args) -> int:
               f"{pruned['tmp_files']} temp file(s), "
               f"{pruned['claims']} abandoned claim(s)")
         print(f"cache size now {pruned['size_bytes'] / 1024:.1f} KiB "
-              f"(evictions_size={cache.evictions_size})")
+              f"(ledger {pruned['ledger_bytes'] / 1024:.1f} KiB, "
+              f"evictions_size={cache.evictions_size})")
     elif args.action == "list":
         entries = cache.entries()
+        listed = 0
         for path in entries:
-            size = path.stat().st_size
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue  # evicted by a concurrent prune mid-listing
+            listed += 1
             print(f"{path.name.split('.')[0]}  {size / 1024:7.1f} KiB")
-        print(f"{len(entries)} entries, {cache.size_bytes() / 1024:.1f} KiB total")
+        print(f"{listed} entries, {cache.size_bytes() / 1024:.1f} KiB total")
     else:
         swept = cache.sweep_tmp()
         print(cache.describe())
@@ -200,14 +207,9 @@ def _cmd_report(args) -> int:
     if args.stats or args.log_json:
         import json
 
-        # `as_dict` snapshots FACTORIZATION_STATS alongside the context
-        # counters, so the payload needs no extra thermal plumbing.
-        payload = {
-            "wall_s": round(wall_s, 3),
-            "jobs": context.jobs,
-            "fast": bool(args.fast),
-            **context.stats.as_dict(),
-        }
+        # Run telemetry plus the cache/ledger metrics section — see
+        # repro.experiments.report.stats_payload.
+        payload = stats_payload(context, wall_s, args.fast)
         if args.stats:
             with open(args.stats, "w", encoding="utf-8") as stream:
                 json.dump(payload, stream, indent=2)
@@ -233,6 +235,21 @@ def _cmd_report(args) -> int:
                 stream.write(json.dumps(summary, sort_keys=True) + "\n")
             print(f"wrote {args.log_json} "
                   f"({len(context.stats.events)} robustness events)")
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    import json
+
+    from repro.experiments.metrics import metrics_snapshot
+
+    text = json.dumps(metrics_snapshot(), indent=2, sort_keys=True) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as stream:
+            stream.write(text)
+        print(f"wrote {args.out}")
+    else:
+        sys.stdout.write(text)
     return 0
 
 
@@ -322,6 +339,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run report generation under cProfile and print "
                              "the top N cumulative-time entries to stderr "
                              "(default 30)")
+
+    metrics = add("metrics", _cmd_metrics,
+                  "machine-readable cache/ledger/solver metrics snapshot",
+                  fast=False)
+    metrics.add_argument("--out", metavar="FILE",
+                         help="write the JSON snapshot to a file instead "
+                              "of stdout")
 
     cache = add("cache", _cmd_cache, "inspect or clear the on-disk result cache",
                 fast=False)

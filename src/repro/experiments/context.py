@@ -443,6 +443,22 @@ class ExperimentContext:
 
     # ------------------------------------------------------------------ #
 
+    def metrics(self) -> dict:
+        """One scrapeable snapshot of this context's caches and telemetry.
+
+        Combines the on-disk cache/ledger state (exact sizes from the
+        sharded size ledger, result and trace entries broken out), this
+        process's cache hit/miss/eviction counters, the process-wide
+        ``FACTORIZATION_STATS``, and :meth:`ContextStats.as_dict` (which
+        carries ``stage_seconds``) — the payload behind
+        ``python -m repro metrics`` and ``repro report --stats``.
+        """
+        from repro.experiments.metrics import metrics_snapshot
+
+        return metrics_snapshot(context=self)
+
+    # ------------------------------------------------------------------ #
+
     def trace(self, benchmark: str) -> Trace:
         trace = self._traces.get(benchmark)
         if trace is None:

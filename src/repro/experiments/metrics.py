@@ -1,0 +1,115 @@
+"""Scrapeable metrics snapshot of the cache, ledger, and run telemetry.
+
+One JSON-serializable dictionary combining:
+
+* **cache-side state** read from disk — exact size/entry counts from the
+  :class:`repro.experiments.cache.SizeLedger` (result and trace entries
+  broken out), the configured size cap, ledger generation/compaction
+  health, and in-flight claim/temp-file counts;
+* **per-process cache counters** — hit/miss/store/eviction counts of the
+  live :class:`~repro.experiments.cache.ResultCache` and its trace
+  store;
+* **solver state** — the process-wide ``FACTORIZATION_STATS`` LRU
+  counters;
+* **run telemetry** — the owning context's
+  :meth:`~repro.experiments.context.ContextStats.as_dict` payload
+  (per-stage wall-clock, claim/retry/fault counters), when a context is
+  attached.
+
+``python -m repro metrics`` prints the snapshot (or writes it with
+``--out FILE``) for CI artifacts and external scrapers;
+``repro report --stats``/``--log-json`` embed the same cache section so
+one warm-vs-cold diff shows exactly where every result came from.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timezone
+from typing import Optional
+
+#: Bump when the snapshot layout changes incompatibly.
+METRICS_SCHEMA_VERSION = 1
+
+
+def cache_metrics(cache) -> dict:
+    """The cache/ledger section of the snapshot (``cache`` may be None —
+    the ``REPRO_CACHE=0`` configuration — which reports as disabled)."""
+    from repro.experiments.cache import CACHE_SCHEMA_VERSION, ENV_CACHE_MAX_MB
+
+    if cache is None:
+        return {"enabled": False}
+    ledger = cache.ledger
+    state = ledger.state()
+    result_bytes = result_entries = trace_bytes = trace_entries = 0
+    for composite, (nbytes, _ts) in state.items():
+        if composite.startswith("trace:"):
+            trace_bytes += int(nbytes)
+            trace_entries += 1
+        else:
+            result_bytes += int(nbytes)
+            result_entries += 1
+    store = cache.trace_store()
+    return {
+        "enabled": True,
+        "dir": str(cache.root),
+        "schema_version": CACHE_SCHEMA_VERSION,
+        "size_bytes": result_bytes + trace_bytes,
+        "entries": result_entries + trace_entries,
+        "result_bytes": result_bytes,
+        "result_entries": result_entries,
+        "trace_bytes": trace_bytes,
+        "trace_entries": trace_entries,
+        "max_bytes": cache.max_bytes,
+        "max_bytes_env": ENV_CACHE_MAX_MB,
+        "ledger": {
+            "generation": ledger._read_checkpoint().get("gen", 0),
+            "shards": ledger.shards,
+            "unfolded_records": ledger.shard_record_count(),
+            "appends": ledger.appends,
+            "compactions": ledger.compactions,
+            "rebuilds": ledger.rebuilds,
+        },
+        "claims": len(cache.claims()),
+        "tmp_files": len(cache.tmp_files()),
+        "counters": {
+            "hits": cache.hits,
+            "misses": cache.misses,
+            "stores": cache.stores,
+            "evictions": cache.evictions,
+            "evictions_size": cache.evictions_size,
+            "trace_hits": store.hits,
+            "trace_misses": store.misses,
+            "trace_stores": store.stores,
+            "trace_evictions": store.evictions,
+        },
+    }
+
+
+def metrics_snapshot(context=None, cache=None) -> dict:
+    """The full snapshot.
+
+    ``context`` attaches its cache and run telemetry; without one,
+    ``cache`` is used as-is when given, else the environment-default
+    cache (``None`` under ``REPRO_CACHE=0``) is inspected — that is what
+    ``python -m repro metrics`` scrapes between runs.
+    """
+    from repro.thermal.solver import FACTORIZATION_STATS
+
+    if context is not None:
+        cache = context.cache
+    elif cache is None:
+        from repro.experiments.cache import ResultCache
+
+        cache = ResultCache.from_env()
+    snapshot = {
+        "schema": METRICS_SCHEMA_VERSION,
+        "ts": datetime.now(timezone.utc).isoformat(timespec="milliseconds"),
+        "cache": cache_metrics(cache),
+        "factorizations": {
+            "factorizations": FACTORIZATION_STATS.factorizations,
+            "cache_hits": FACTORIZATION_STATS.cache_hits,
+        },
+    }
+    if context is not None:
+        snapshot["run"] = context.stats.as_dict()
+    return snapshot

@@ -24,6 +24,27 @@ from repro.experiments.table2 import run_table2
 from repro.experiments.width_stats import run_width_stats
 
 
+def stats_payload(context: ExperimentContext, wall_s: float,
+                  fast: bool) -> dict:
+    """The ``--stats``/``--log-json`` telemetry payload for one report run.
+
+    Run telemetry (:meth:`ContextStats.as_dict`, which includes
+    ``stage_seconds`` and the ``FACTORIZATION_STATS`` snapshot) at the
+    top level — the layout CI's ``BENCH_report.json`` assembles — plus
+    the cache/ledger metrics section under ``"metrics"`` so a single
+    file answers both "what ran" and "what the cache did".
+    """
+    from repro.experiments.metrics import cache_metrics
+
+    return {
+        "wall_s": round(wall_s, 3),
+        "jobs": context.jobs,
+        "fast": bool(fast),
+        **context.stats.as_dict(),
+        "metrics": cache_metrics(context.cache),
+    }
+
+
 def _section(title: str, body: str) -> str:
     return f"## {title}\n\n```\n{body}\n```\n"
 

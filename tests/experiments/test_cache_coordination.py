@@ -13,6 +13,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import shutil
 import subprocess
 import sys
 import threading
@@ -21,11 +22,14 @@ from pathlib import Path
 
 import pytest
 
+from repro.experiments import cache as cache_module
 from repro.experiments.cache import (
     CLAIM_SUFFIX,
     ENV_CACHE_DIR,
     ENV_CACHE_MAX_MB,
     ResultCache,
+    SizeLedger,
+    trace_store_key,
 )
 from repro.experiments.context import ExperimentContext, ExperimentSettings
 
@@ -256,8 +260,6 @@ class TestSizeCap:
     def test_cap_from_environment(self, tmp_path, monkeypatch):
         monkeypatch.setenv(ENV_CACHE_MAX_MB, "1.5")
         assert ResultCache(tmp_path).max_bytes == int(1.5 * 1024 * 1024)
-        monkeypatch.setenv(ENV_CACHE_MAX_MB, "0")
-        assert ResultCache(tmp_path).max_bytes is None
         monkeypatch.delenv(ENV_CACHE_MAX_MB)
         assert ResultCache(tmp_path).max_bytes is None
 
@@ -266,6 +268,19 @@ class TestSizeCap:
         with pytest.warns(RuntimeWarning, match="lots"):
             cache = ResultCache(tmp_path)
         assert cache.max_bytes is None
+
+    @pytest.mark.parametrize("raw", ["0", "-4", "-0.5"])
+    def test_nonpositive_cap_env_warns_and_disables(
+        self, tmp_path, monkeypatch, raw
+    ):
+        """A zero or negative cap can never admit a store: warn, run
+        unbounded — instead of silently evicting everything."""
+        monkeypatch.setenv(ENV_CACHE_MAX_MB, raw)
+        with pytest.warns(RuntimeWarning, match="positive"):
+            cache = ResultCache(tmp_path)
+        assert cache.max_bytes is None
+        _filler(cache, "survives")
+        assert len(cache.entries()) == 1
 
     def test_explicit_cap_beats_environment(self, tmp_path, monkeypatch):
         monkeypatch.setenv(ENV_CACHE_MAX_MB, "100")
@@ -302,3 +317,302 @@ class TestPrune:
         assert "1 abandoned claim(s)" in out
         assert "cache size now" in out
         assert ResultCache(tmp_path).claims() == []
+
+
+def _du(cache: ResultCache) -> int:
+    """Ground-truth disk usage of every accounted entry (results + traces)."""
+    return cache.size_bytes() + cache.trace_store().size_bytes()
+
+
+class TestSizeLedger:
+    """The sharded ledger must agree with ``du`` exactly, at all times."""
+
+    def test_total_matches_disk_exactly(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for index in range(6):
+            _filler(cache, f"entry-{index}", size=1000 + index)
+        assert cache.ledger.total_bytes() == _du(cache)
+        assert cache.ledger.entry_count() == 6
+
+    def test_replacement_store_is_not_double_counted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = hashlib.sha256(b"replace-me").hexdigest()
+        cache.store(key, os.urandom(2048))
+        cache.store(key, os.urandom(8192))  # same key, new size
+        assert cache.ledger.entry_count() == 1
+        assert cache.ledger.total_bytes() == _du(cache)
+
+    def test_load_eviction_updates_ledger(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        bad = _filler(cache, "bad")
+        good = _filler(cache, "good")
+        cache._path(bad).write_bytes(b"garbage")
+        assert cache.load(bad, expected_type=bytes) is None  # evicts it
+        assert cache.evictions == 1
+        state = cache.ledger.state()
+        assert f"result:{bad}" not in state
+        assert f"result:{good}" in state
+        assert cache.ledger.total_bytes() == _du(cache)
+
+    def test_compaction_is_exact_and_clears_shards(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for index in range(5):
+            _filler(cache, f"entry-{index}")
+        ledger = cache.ledger
+        before = ledger.total_bytes()
+        gen = ledger._read_checkpoint().get("gen", 0)
+        assert ledger.shard_record_count() > 0
+        assert ledger.compact()
+        assert ledger.shard_record_count() == 0
+        assert ledger._read_checkpoint()["gen"] == gen + 1
+        assert ledger.total_bytes() == before == _du(cache)
+
+    def test_appends_trigger_automatic_compaction(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(cache_module, "LEDGER_COMPACT_BYTES", 512)
+        cache = ResultCache(tmp_path)
+        for index in range(12):
+            _filler(cache, f"entry-{index}")
+        assert cache.ledger.compactions > 0
+        assert cache.ledger.total_bytes() == _du(cache)
+
+    def test_torn_trailing_append_is_skipped(self, tmp_path):
+        """A writer killed mid-append leaves half a line; readers must
+        ignore it and repair must restore exactness."""
+        cache = ResultCache(tmp_path)
+        for index in range(3):
+            _filler(cache, f"entry-{index}")
+        ledger = cache.ledger
+        before = ledger.total_bytes()
+        gen = ledger._read_checkpoint().get("gen", 0)
+        with open(ledger._shard_path(0, gen), "ab") as stream:
+            stream.write(b'{"op": "store", "kind": "result", "key": "dead')
+        assert ledger.total_bytes() == before
+        assert cache.repair_ledger() == _du(cache)
+        assert ledger.total_bytes() == _du(cache)
+
+    def test_stale_generation_shards_never_double_count(self, tmp_path):
+        """Crash between checkpoint rotation and shard deletion: the
+        leftover old-generation shards must be ignored, then cleaned."""
+        cache = ResultCache(tmp_path)
+        for index in range(4):
+            _filler(cache, f"entry-{index}")
+        ledger = cache.ledger
+        before = ledger.total_bytes()
+        folded = {p.name: p.read_bytes() for p in ledger._shard_files()}
+        assert folded
+        assert ledger.compact()
+        # Resurrect the folded shards, as if the compactor died after the
+        # os.replace of the checkpoint but before deleting them.
+        for name, blob in folded.items():
+            (ledger.dir / name).write_bytes(blob)
+        assert ledger.total_bytes() == before  # not before * 2
+        assert ledger.compact()  # the next pass sweeps the orphans
+        assert all(ledger._shard_gen(p) is None or ledger._shard_gen(p) > 0
+                   for p in ledger._shard_files())
+
+    def test_repair_after_out_of_band_deletion(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        gone = _filler(cache, "gone")
+        _filler(cache, "kept")
+        cache._path(gone).unlink()  # deleted behind the ledger's back
+        assert cache.ledger.total_bytes() > _du(cache)  # stale, by design
+        assert cache.repair_ledger() == _du(cache)
+        assert cache.ledger.entry_count() == 1
+
+    def test_bootstrap_of_pre_ledger_directory(self, tmp_path):
+        """A cache populated before the ledger existed (or whose ledger
+        was deleted) is brought exact by one scan on first touch."""
+        seed = ResultCache(tmp_path)
+        for index in range(3):
+            _filler(seed, f"entry-{index}")
+        shutil.rmtree(seed.version_dir / "ledger")
+        cache = ResultCache(tmp_path)
+        assert cache.ledger.total_bytes() == _du(cache)
+        assert cache.ledger.rebuilds == 1
+
+    def test_stale_ledger_locks_are_broken(self, tmp_path):
+        ledger = SizeLedger(tmp_path / "ledger", shards=1)
+        ledger.dir.mkdir(parents=True, exist_ok=True)
+        dead = ledger._lock_path("shard-00")
+        dead.write_text(json.dumps({"pid": _reap(), "ts": time.time()}),
+                        encoding="utf-8")
+        assert ledger.record_store("result", KEY, 123)
+        assert ledger.total_bytes() == 123
+        garbled = ledger._lock_path("shard-00")
+        garbled.write_text("not json", encoding="utf-8")
+        assert ledger.record_unlink("result", KEY)
+        assert ledger.total_bytes() == 0
+
+    def test_store_hot_path_never_scans_the_directory(self, tmp_path):
+        """The acceptance criterion: zero directory-wide stat scans per
+        store — the ledger answers the size question."""
+        cache = ResultCache(tmp_path, max_mb=16 / 1024)
+        _filler(cache, "warmup")  # ledger initialized here
+
+        def scan(*args, **kwargs):
+            raise AssertionError("directory scan on the store hot path")
+
+        cache.entries = scan
+        cache._scan_entries = scan
+        cache.trace_store().entries = scan
+        for index in range(10):  # crosses the cap: eviction path included
+            _filler(cache, f"entry-{index}")
+        assert cache.evictions_size > 0
+
+
+class TestLedgerEviction:
+    def test_live_claim_is_never_a_victim(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        claimed = _filler(cache, "claimed")
+        doomed = _filler(cache, "doomed")
+        past = time.time() - 100
+        os.utime(cache._path(claimed), (past, past))  # oldest: first victim
+        assert cache.try_claim(claimed)  # ...but a live process holds it
+        cache.max_bytes = 10 * 1024
+        _filler(cache, "trigger")
+        assert cache._path(claimed).exists()
+        assert not cache._path(doomed).exists()
+        assert cache.ledger.total_bytes() == _du(cache)
+
+    def test_trace_entries_evicted_before_results(self, tmp_path):
+        from repro.isa.compiled import compile_trace
+        from repro.workloads.suite import fingerprint, generate
+
+        cache = ResultCache(tmp_path)
+        results = [_filler(cache, f"result-{i}") for i in range(2)]
+        store = cache.trace_store()
+        key = trace_store_key(fingerprint("adpcm", 300))
+        npy = store.store(key, compile_trace(generate("adpcm", length=300)))
+        assert npy is not None
+        # Results are made *older* than the trace; the trace must still
+        # be the first victim — kind outranks age.
+        past = time.time() - 100
+        for result_key in results:
+            os.utime(cache._path(result_key), (past, past))
+        cache.max_bytes = cache.ledger.total_bytes() - 1
+        assert cache.enforce_size_cap() == 1
+        assert not npy.exists()
+        assert not store._meta_path(key).exists()
+        assert all(cache._path(k).exists() for k in results)
+        assert cache.ledger.total_bytes() == _du(cache)
+
+    def test_vanished_entry_heals_the_ledger(self, tmp_path):
+        """An evictor that died between unlink and record leaves a ghost
+        ledger entry; enforcement heals it instead of evicting live data."""
+        cache = ResultCache(tmp_path)
+        ghost = _filler(cache, "ghost")
+        kept = _filler(cache, "kept")
+        cache._path(ghost).unlink()
+        cache.max_bytes = 6 * 1024  # ledger thinks ~8 KiB; disk holds ~4
+        assert cache.enforce_size_cap() == 0  # healing alone makes room
+        assert cache._path(kept).exists()
+        assert cache.ledger.entry_count() == 1
+        assert cache.ledger.total_bytes() == _du(cache)
+
+
+class TestMetricsSnapshot:
+    def test_snapshot_reflects_live_context(self, tmp_path):
+        from repro.experiments.report import stats_payload
+
+        context = ExperimentContext(TINY, jobs=1, cache=ResultCache(tmp_path))
+        context.run("adpcm", "Base")
+        snapshot = context.metrics()
+        section = snapshot["cache"]
+        assert section["enabled"] is True
+        assert section["size_bytes"] == _du(context.cache)
+        assert section["counters"]["stores"] == context.cache.stores >= 1
+        assert section["trace_entries"] == 1
+        assert snapshot["run"]["simulated"] == 1
+        payload = stats_payload(context, wall_s=1.25, fast=True)
+        assert payload["wall_s"] == 1.25
+        assert payload["fast"] is True
+        assert payload["simulated"] == 1
+        assert payload["metrics"]["size_bytes"] == section["size_bytes"]
+        json.dumps(payload)  # the --log-json path needs it serializable
+
+    def test_snapshot_without_context_uses_env_cache(self, tmp_path, monkeypatch):
+        from repro.experiments.metrics import metrics_snapshot
+
+        monkeypatch.setenv(ENV_CACHE_DIR, str(tmp_path))
+        _filler(ResultCache(tmp_path), "entry", size=2000)
+        snapshot = metrics_snapshot()
+        assert snapshot["cache"]["entries"] == 1
+        assert snapshot["cache"]["result_entries"] == 1
+        assert snapshot["cache"]["trace_entries"] == 0
+        assert snapshot["cache"]["ledger"]["shards"] >= 1
+
+
+class TestLedgerStress:
+    def test_multiprocess_stores_stay_exact_and_capped(self, tmp_path):
+        """N concurrent writers under a tight cap: the ledger total must
+        equal du exactly at quiescence, the watermark must hold, and a
+        claimed entry must survive every eviction pass."""
+        script = tmp_path / "writer.py"
+        script.write_text(
+            "import hashlib, os, sys\n"
+            "from repro.experiments.cache import ResultCache\n"
+            "cache = ResultCache(sys.argv[1], max_mb=32 / 1024)\n"
+            "for i in range(10):\n"
+            "    key = hashlib.sha256(\n"
+            "        f'{sys.argv[2]}-{i}'.encode()).hexdigest()\n"
+            "    cache.store(key, os.urandom(3000))\n",
+            encoding="utf-8",
+        )
+        env = dict(os.environ)
+        repo_src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = repo_src + os.pathsep + env.get("PYTHONPATH", "")
+        cache_dir = tmp_path / "shared-cache"
+        parent = ResultCache(cache_dir, max_mb=32 / 1024)
+        pinned = _filler(parent, "pinned", size=3000)
+        assert parent.try_claim(pinned)  # held by this live process
+        procs = [
+            subprocess.Popen(
+                [sys.executable, str(script), str(cache_dir), f"writer-{i}"],
+                env=env,
+            )
+            for i in range(3)
+        ]
+        for proc in procs:
+            assert proc.wait(timeout=120) == 0
+        cache = ResultCache(cache_dir, max_mb=32 / 1024)
+        assert cache._path(pinned).exists()
+        assert cache.ledger.total_bytes() == _du(cache)
+        assert cache.ledger.total_bytes() <= cache.max_bytes
+        assert cache.ledger.compact()
+        assert cache.ledger.total_bytes() == _du(cache)
+
+    def test_kill_mid_run_recovers(self, tmp_path):
+        """SIGKILL a writer mid-store: whatever half-state it leaves
+        (torn appends, stale locks), repair restores exactness and
+        subsequent appends are not blocked."""
+        script = tmp_path / "loop.py"
+        script.write_text(
+            "import hashlib, itertools, os, sys\n"
+            "from repro.experiments.cache import ResultCache\n"
+            "cache = ResultCache(sys.argv[1])\n"
+            "for i in itertools.count():\n"
+            "    key = hashlib.sha256(f'victim-{i}'.encode()).hexdigest()\n"
+            "    cache.store(key, os.urandom(2048))\n",
+            encoding="utf-8",
+        )
+        env = dict(os.environ)
+        repo_src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = repo_src + os.pathsep + env.get("PYTHONPATH", "")
+        cache_dir = tmp_path / "cache"
+        proc = subprocess.Popen(
+            [sys.executable, str(script), str(cache_dir)], env=env)
+        try:
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if len(ResultCache(cache_dir).entries()) >= 3:
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("writer made no progress before the kill")
+        finally:
+            proc.kill()
+            proc.wait(timeout=30)
+        cache = ResultCache(cache_dir)
+        assert cache.repair_ledger() == _du(cache)
+        _filler(cache, "after-the-crash")  # appends still work
+        assert cache.ledger.total_bytes() == _du(cache)

@@ -104,6 +104,45 @@ class TestTraceStore:
         assert not npy.exists()
 
 
+class TestLedgerAccounting:
+    """Trace entries count against ``REPRO_CACHE_MAX_MB`` via the shared
+    size ledger when the store comes from :meth:`ResultCache.trace_store`."""
+
+    def test_store_and_evict_are_ledger_accounted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        store = cache.trace_store()
+        key = trace_store_key(fingerprint("adpcm", 300))
+        npy = store.store(key, compile_trace(generate("adpcm", length=300)))
+        expected = npy.stat().st_size + npy.with_suffix(".json").stat().st_size
+        assert cache.ledger.total_bytes() == expected
+        assert list(cache.ledger.state()) == [f"trace:{key}"]
+        npy.write_bytes(b"garbage")
+        assert store.load(key) is None  # damaged entry: evicted...
+        assert cache.ledger.total_bytes() == 0  # ...and de-accounted
+
+    def test_standalone_store_is_unaccounted(self, tmp_path):
+        store = TraceStore(tmp_path / "traces")
+        key = trace_store_key(fingerprint("adpcm", 300))
+        npy = store.store(key, compile_trace(generate("adpcm", length=300)))
+        assert npy is not None
+        assert store.load(key) is not None  # works fine, just unbounded
+
+    def test_trace_store_triggers_cap_enforcement(self, tmp_path):
+        """Storing a trace enforces the cap with the new entry protected:
+        with everything else claimed or fresh, the *results* make room."""
+        cache = ResultCache(tmp_path, max_mb=1 / 1024)  # 1 KiB: tiny
+        result_key = "ab" + "0" * 62
+        cache.store(result_key, b"x" * 4096)
+        assert cache._path(result_key).exists()  # protected at its own store
+        store = cache.trace_store()
+        key = trace_store_key(fingerprint("adpcm", 300))
+        npy = store.store(key, compile_trace(generate("adpcm", length=300)))
+        assert npy is not None and npy.exists()  # just stored: protected
+        assert not cache._path(result_key).exists()  # evicted to make room
+        assert cache.ledger.total_bytes() == \
+            npy.stat().st_size + npy.with_suffix(".json").stat().st_size
+
+
 class TestSweepReuse:
     def test_one_generation_per_workload_per_sweep(self, tmp_path):
         context = ExperimentContext(TINY, jobs=1,

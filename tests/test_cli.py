@@ -12,7 +12,7 @@ class TestParser:
         expected = {"table2", "figure8", "figure9", "figure10", "density",
                     "width", "dvfs", "roadmap", "report", "simulate",
                     "trace", "list", "sensitivity", "transient", "stacking",
-                    "mechanisms", "cache"}
+                    "mechanisms", "cache", "metrics"}
         assert expected <= set(sub.choices)
 
     def test_experiment_commands_take_jobs(self):
@@ -54,6 +54,35 @@ class TestCommands:
         assert "entries" in out
         assert main(["cache", "clear"]) == 0
         assert "removed" in capsys.readouterr().out
+
+    def test_metrics_snapshot_to_stdout(self, tmp_path, capsys, monkeypatch):
+        import json
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["metrics"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["schema"] == 1
+        assert snapshot["cache"]["enabled"] is True
+        assert snapshot["cache"]["entries"] == 0
+        assert "counters" in snapshot["cache"]
+        assert "factorizations" in snapshot
+
+    def test_metrics_snapshot_to_file(self, tmp_path, capsys, monkeypatch):
+        import json
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        out_file = tmp_path / "metrics.json"
+        assert main(["metrics", "--out", str(out_file)]) == 0
+        snapshot = json.loads(out_file.read_text(encoding="utf-8"))
+        assert snapshot["cache"]["size_bytes"] == 0
+
+    def test_metrics_with_cache_disabled(self, capsys, monkeypatch):
+        import json
+
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        assert main(["metrics"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["cache"] == {"enabled": False}
 
     def test_trace_roundtrip(self, tmp_path, capsys):
         output = tmp_path / "x.jsonl.gz"
