@@ -1,0 +1,26 @@
+"""Extension bench: interval power/thermal co-simulation with DTM.
+
+Interval power traces drive temperature-reactive throttling scenarios
+through the batched transient engine.  Thermal herding keeps the 3D
+stack under the ceiling with less throttling than the same stack
+without herding — the paper's DTM argument, played forward in time.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.interval import run_interval
+
+
+def test_bench_interval(benchmark, context):
+    result = benchmark.pedantic(
+        run_interval, args=(context,),
+        rounds=1, iterations=1,
+    )
+    emit("Extension — interval power/thermal co-simulation", result.format())
+
+    for row in result.rows:
+        assert row.throttled_peak_k <= row.free_peak_k
+        assert 0.0 <= row.throttle_duty <= 1.0
+    assert (
+        result.row("3D").throttle_duty
+        <= result.row("3D-noTH").throttle_duty
+    )

@@ -14,6 +14,7 @@ Usage::
     python -m repro pairing  [--fast] [--jobs N]
     python -m repro sensitivity [--fast] [--jobs N]
     python -m repro transient   [--fast] [--jobs N]
+    python -m repro interval    [--fast] [--jobs N]
     python -m repro stacking    [--fast] [--jobs N]
     python -m repro mechanisms
     python -m repro report   [--fast] [--jobs N] [-o report.md]
@@ -125,6 +126,12 @@ def _cmd_sensitivity(args) -> int:
 def _cmd_transient(args) -> int:
     from repro.experiments.transient_response import run_transient_response
     print(run_transient_response(_context(args)).format())
+    return 0
+
+
+def _cmd_interval(args) -> int:
+    from repro.experiments.interval import run_interval
+    print(run_interval(_context(args)).format())
     return 0
 
 
@@ -322,6 +329,8 @@ def build_parser() -> argparse.ArgumentParser:
     add("pairing", _cmd_pairing, "heterogeneous core pairing thermals")
     add("sensitivity", _cmd_sensitivity, "packaging-parameter thermal sensitivity")
     add("transient", _cmd_transient, "transient step-response of both stacks")
+    add("interval", _cmd_interval,
+        "interval power/thermal co-simulation with DTM throttling")
     add("stacking", _cmd_stacking, "die stacking-order ablation")
     add("mechanisms", _cmd_mechanisms,
         "per-mechanism microbenchmark validation", fast=False)

@@ -668,7 +668,9 @@ class TimingSimulator:
     # ------------------------------------------------------------------ #
 
     def run_compiled(self, pre: PreDecodedTrace, warmup: int = 0,
-                     prewarm: bool = True) -> SimulationResult:
+                     prewarm: bool = True,
+                     capture: Optional["IntervalCapture"] = None
+                     ) -> SimulationResult:
         """The batched wavefront twin of :meth:`run`.
 
         Everything per-instruction that does not depend on dynamic cycle
@@ -688,6 +690,11 @@ class TimingSimulator:
         reproduces the reference loop's module creation order.  The
         returned :class:`SimulationResult` pickles byte-identically to
         :meth:`run`'s (the equivalence tests enforce this).
+
+        ``capture`` (an :class:`~repro.cpu.wavefront.IntervalCapture`)
+        snapshots the running dynamic tallies at interval boundaries for
+        interval power extraction; when None the loop pays a single
+        boolean check per instruction and the result is unchanged.
         """
         cfg = self.config
         n = pre.n
@@ -841,6 +848,7 @@ class TimingSimulator:
         prev_commit_for_stack = 0
 
         fault_hook = FAULT_HOOK
+        capture_marks = capture.prepare(n, warmup) if capture is not None else None
 
         for index in range(n):
             if fault_hook is not None:
@@ -1171,6 +1179,13 @@ class TimingSimulator:
                 lq_q.append(commit_cycle)
             elif is_store:
                 sq_q.append(commit_cycle)
+
+            if capture_marks is not None and capture_marks[index]:
+                capture.record(rf1, rf4, alu1, alu4, l1d1, l1d4,
+                               sched_die, last_commit_cycle)
+
+        if capture is not None:
+            capture.finish(cycle_base)
 
         # ---------------- RESULT ASSEMBLY ---------------- #
         self.stalls = StallBreakdown(

@@ -626,3 +626,268 @@ def build_plan(pre: PreDecodedTrace, cfg, warmup: int,
     fe = frontend_walk(pre, cfg)
     mem = memory_walk(pre, cfg, fe, prewarm)
     return WavefrontPlan(pre, cfg, warmup, fe, mem)
+
+
+# ---------------------------------------------------------------------- #
+# Interval power extraction
+# ---------------------------------------------------------------------- #
+
+
+class IntervalCapture:
+    """Cumulative dynamic-tally snapshots at N-instruction boundaries.
+
+    Armed via :meth:`TimingSimulator.run_compiled`'s ``capture``
+    parameter: the loop records its running width-dependent tallies
+    (register-file read splits, ALU/L1D width outcomes, scheduler
+    broadcast dies) and the commit cycle at the last instruction of each
+    interval.  The un-armed hot path pays one boolean list index per
+    instruction; snapshots are O(intervals), not O(instructions).
+    Interval deltas fall out as vectorized diffs of the snapshots, so
+    they sum *exactly* to the aggregate tallies by construction.
+    """
+
+    __slots__ = (
+        "interval_insts", "warmup", "ends", "cycle_base", "_rows", "_table",
+    )
+
+    def __init__(self, interval_insts: int):
+        if interval_insts <= 0:
+            raise ValueError(
+                f"interval_insts must be positive, got {interval_insts}"
+            )
+        self.interval_insts = int(interval_insts)
+        self.warmup = 0
+        self.ends: Optional[np.ndarray] = None
+        self.cycle_base = 0
+        self._rows: List[Tuple[int, ...]] = []
+        self._table: Optional[np.ndarray] = None
+
+    def prepare(self, n: int, warmup: int) -> List[bool]:
+        """Boundary marks for a trace of ``n`` instructions.
+
+        Intervals cover the measured window ``[warmup, n)`` in chunks of
+        ``interval_insts`` (the last chunk may be short).  Returns a
+        plain bool list the loop indexes once per instruction.
+        """
+        span = n - warmup
+        if span <= 0:
+            raise ValueError(f"warmup ({warmup}) leaves no instructions")
+        step = self.interval_insts
+        self.warmup = warmup
+        self.ends = np.minimum(np.arange(step, span + step, step), span)
+        self._rows = []
+        self._table = None
+        marks = [False] * n
+        for end in self.ends:
+            marks[warmup + int(end) - 1] = True
+        return marks
+
+    def record(self, rf1: int, rf4: int, alu1: int, alu4: int,
+               l1d1: int, l1d4: int, sched_die: List[int],
+               commit_cycle: int) -> None:
+        """Snapshot the running tallies at one interval boundary."""
+        self._rows.append((
+            rf1, rf4, alu1, alu4, l1d1, l1d4,
+            sched_die[0], sched_die[1], sched_die[2], sched_die[3],
+            commit_cycle,
+        ))
+
+    def finish(self, cycle_base: int) -> None:
+        """Seal the capture once the loop has run."""
+        self.cycle_base = cycle_base
+        self._table = np.array(self._rows, dtype=np.int64)
+        if self._table.shape[0] != len(self.ends):
+            raise RuntimeError(
+                f"captured {self._table.shape[0]} snapshots for "
+                f"{len(self.ends)} intervals"
+            )
+
+    _COLS = {
+        "rf1": 0, "rf4": 1, "alu1": 2, "alu4": 3, "l1d1": 4, "l1d4": 5,
+        "sd0": 6, "sd1": 7, "sd2": 8, "sd3": 9,
+    }
+
+    def deltas(self, name: str) -> np.ndarray:
+        """Per-interval deltas of one cumulative tally column."""
+        if self._table is None:
+            raise RuntimeError("capture not finished")
+        return np.diff(self._table[:, self._COLS[name]], prepend=0)
+
+    def cycle_deltas(self) -> np.ndarray:
+        """Commit cycles attributed to each interval (sums to the run's
+        total cycle count)."""
+        if self._table is None:
+            raise RuntimeError("capture not finished")
+        return np.diff(self._table[:, 10], prepend=self.cycle_base)
+
+
+class IntervalActivitySeries:
+    """Per-interval activity buckets for one (trace, config) run.
+
+    ``counters[j]`` holds the j-th interval's :class:`ActivityCounters`
+    with the *same module set and creation order* as the aggregate run
+    result; summing any module across intervals reproduces the aggregate
+    counts exactly, and a one-interval series equals the aggregate.
+    """
+
+    __slots__ = ("interval_insts", "insts", "cycles", "counters")
+
+    def __init__(self, interval_insts: int, insts: np.ndarray,
+                 cycles: np.ndarray, counters: List[ActivityCounters]):
+        self.interval_insts = interval_insts
+        self.insts = insts
+        self.cycles = cycles
+        self.counters = counters
+
+    def __len__(self) -> int:
+        return len(self.counters)
+
+
+def build_interval_series(
+    pre: PreDecodedTrace,
+    cfg,
+    warmup: int,
+    prewarm: bool,
+    capture: IntervalCapture,
+    aggregate: ActivityCounters,
+) -> IntervalActivitySeries:
+    """Bucket per-module activity into the capture's intervals.
+
+    The static activity columns (everything
+    :meth:`WavefrontPlan.build_activity` derives from precomputed masks)
+    are binned with one ``np.add.reduceat`` per mask over the interval
+    boundaries — no per-instruction Python loop; the dynamic
+    width-dependent splits come from the capture's snapshot diffs.  The
+    per-interval formulas mirror ``build_activity`` exactly, so buckets
+    sum to the aggregate counters bit-for-bit.  ``aggregate`` (the run
+    result's counters) fixes the module set and creation order.
+    """
+    fe = frontend_walk(pre, cfg)
+    mem = memory_walk(pre, cfg, fe, prewarm)
+    cols = pre.np_cols
+    th = cfg.thermal_herding
+    ends = capture.ends
+    nintervals = len(ends)
+    starts = np.concatenate(([0], ends[:-1]))
+
+    def B(mask: np.ndarray) -> np.ndarray:
+        return np.add.reduceat(mask[warmup:].astype(np.int64), starts)
+
+    NL = fe.new_line
+    LKP = fe.btb_lookup
+    HIT = fe.btb_hit
+    RASH = fe.ras_hit
+    COND = cols["is_cond"]
+    LD = cols["is_load"]
+    ST = cols["is_store"]
+    MEM = cols["is_memory"]
+    INT = cols["is_intdp"]
+    INTM = INT | MEM
+    FPX = cols["is_fp"] & ~INTM
+    DST = cols["has_dst"]
+    RL = cols["result_low"]
+    HT = cols["has_target"]
+    LM, IL2 = mem.l1i_miss, mem.il2_miss
+    DM, DL2 = mem.l1d_miss, mem.dl2_miss
+
+    lengths = np.diff(ends, prepend=0)
+    zeros = np.zeros(nintervals, dtype=np.int64)
+
+    b_nl = B(NL)
+    b_ld = B(LD)
+    b_st = B(ST)
+    b_dst = B(DST)
+    b_mem = B(MEM)
+    b_cond = B(COND)
+    b_lkp = B(LKP)
+    b_l2 = B(NL & LM) + B(LD & DM) + B(ST & DM)
+    b_dram = B(NL & IL2) + B(LD & DL2) + B(ST & DL2)
+
+    rf1 = capture.deltas("rf1")
+    rf4 = capture.deltas("rf4")
+    alu1 = capture.deltas("alu1")
+    alu4 = capture.deltas("alu4")
+    l1d1 = capture.deltas("l1d1")
+    l1d4 = capture.deltas("l1d4")
+    sd = [capture.deltas(f"sd{die}") for die in range(4)]
+
+    if th:
+        NEAR = (cols["target"] >> _U16) == (cols["pc"] >> _U16)
+        pamh = np.array(pre.pam_herded(), dtype=bool)
+        sc = np.array(pre.dc_columns(cfg.dcache_encoding.value)[1], dtype=bool)
+        b_near = B(LKP & HIT & HT & NEAR)
+        b_wlow = B(DST & RL)
+        b_dst_low = B(DST & INT & RL)
+        b_pam_ld = B(LD & pamh)
+        b_pam_st = B(ST & pamh)
+        b_store_comp = B(ST & sc)
+        b_fill = B(LD & DM)
+        pairs = {
+            "btb": (b_near, b_lkp - b_near),
+            "register_file": (rf1 + b_wlow, rf4 + (b_dst - b_wlow)),
+            "alu": (alu1, alu4 + b_mem),
+            "store_queue": (b_pam_ld, b_ld - b_pam_ld),
+            "load_queue": (b_pam_st, b_st - b_pam_st),
+            "l1_dcache": (l1d1 + b_store_comp,
+                          l1d4 + b_fill + (b_st - b_store_comp)),
+            "bypass": (b_dst_low, b_dst - b_dst_low),
+            "rob": (b_dst_low, b_dst - b_dst_low),
+        }
+    else:
+        pairs = {
+            "dir_predictor": (zeros, 2 * b_cond),
+            "btb": (zeros, b_lkp),
+            "register_file": (rf1, rf4 + b_dst),
+            "alu": (zeros, B(INTM)),
+            "store_queue": (zeros, b_mem),
+            "load_queue": (zeros, b_mem),
+            "l1_dcache": (zeros, b_mem),
+            "bypass": (zeros, b_dst),
+            "rob": (zeros, b_dst),
+            "scheduler": (zeros, b_dst),
+        }
+    pairs.update({
+        "itlb": (zeros, b_nl),
+        "l1_icache": (zeros, b_nl),
+        "l2_cache": (zeros, b_l2),
+        "dram": (zeros, b_dram),
+        "ibtb": (zeros, B(RASH)),
+        "rename": (zeros, lengths),
+        "fetch_queue": (zeros, lengths),
+        "fpu": (zeros, B(FPX)),
+        "dtlb": (zeros, b_mem),
+    })
+
+    counters: List[ActivityCounters] = []
+    names = list(aggregate.modules().keys())
+    for j in range(nintervals):
+        bucket = ActivityCounters()
+        modules = bucket.modules()
+        for name in names:
+            if th and name == "dir_predictor":
+                c = int(b_cond[j])
+                modules[name] = ModuleActivity(
+                    total=6 * c, top_only=2 * c,
+                    per_die=[2 * c, 2 * c, c, c],
+                )
+                continue
+            if th and name == "scheduler":
+                die_counts = [int(sd[die][j]) for die in range(4)]
+                modules[name] = ModuleActivity(
+                    total=sum(die_counts), top_only=die_counts[0],
+                    per_die=die_counts,
+                )
+                continue
+            c1 = int(pairs[name][0][j])
+            c4 = int(pairs[name][1][j])
+            modules[name] = ModuleActivity(
+                total=c1 + c4, top_only=c1, per_die=[c1 + c4, c4, c4, c4],
+            )
+        counters.append(bucket)
+
+    return IntervalActivitySeries(
+        interval_insts=capture.interval_insts,
+        insts=lengths,
+        cycles=capture.cycle_deltas(),
+        counters=counters,
+    )

@@ -181,6 +181,35 @@ def thermal_key(solver, die_power_grids) -> str:
     return digest.hexdigest()
 
 
+def interval_trace_key(
+    sim_key: str,
+    interval_insts: int,
+    activity_scale: float,
+    core_count: int,
+    solver,
+) -> str:
+    """Content hash identifying one interval power trace.
+
+    Covers the simulation it was extracted from (``sim_key`` already
+    folds in trace, config, simulator and generator versions), the
+    interval granularity, the calibrated power scale, the core
+    replication factor, and the rasterization geometry (the solver's
+    :meth:`~repro.thermal.solver.ThermalSolver.result_key`, since the
+    trace stores chip-resolution per-die grids).
+    """
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "kind": "interval_trace",
+        "sim": sim_key,
+        "interval_insts": interval_insts,
+        "activity_scale": activity_scale,
+        "core_count": core_count,
+        "geometry": _canonical(solver.result_key()),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
 def _pid_alive(pid: int) -> bool:
     """Whether ``pid`` names a live process (EPERM counts as alive)."""
     try:

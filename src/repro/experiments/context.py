@@ -50,6 +50,13 @@ from repro.power.model import (
 from repro.thermal.power_map import build_power_map, rasterize
 from repro.thermal.solver import FACTORIZATION_STATS, ThermalResult, ThermalSolver
 from repro.thermal.stack import planar_stack, stacked_3d_stack
+from repro.thermal.transient import (
+    STEP_FACTORIZATION_STATS,
+    PowerSchedule,
+    TransientResult,
+    TransientThermalSolver,
+    step_matrix_key,
+)
 from repro.workloads.suite import benchmark_names, fingerprint, generate
 
 #: The power/thermal reference application (the paper's peak-power app).
@@ -191,6 +198,21 @@ class ContextStats:
     thermal_worker_groups: int = 0
     #: SuperLU factorizations performed inside thermal workers
     thermal_worker_factorizations: int = 0
+    #: transient runs dispatched through :meth:`transient_many`
+    transient_runs: int = 0
+    #: step-matrix groups dispatched by the transient engine
+    transient_groups: int = 0
+    #: step-matrix groups stepped in pool workers (vs inline)
+    transient_worker_groups: int = 0
+    #: implicit-Euler steps integrated (per run, so K lock-stepped runs
+    #: of S steps count K*S)
+    transient_steps: int = 0
+    #: step-matrix factorizations performed inside transient workers
+    transient_worker_factorizations: int = 0
+    #: interval power traces extracted (simulated with capture + binned)
+    intervals_extracted: int = 0
+    #: interval power traces served from the on-disk cache
+    interval_disk_hits: int = 0
     #: accumulated wall-clock per pipeline stage (e.g. simulate, thermal)
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     #: robustness incidents, in order ({"event": ..., **detail})
@@ -256,10 +278,20 @@ class ContextStats:
             "thermal_groups": self.thermal_groups,
             "thermal_worker_groups": self.thermal_worker_groups,
             "thermal_worker_factorizations": self.thermal_worker_factorizations,
+            "transient_runs": self.transient_runs,
+            "transient_groups": self.transient_groups,
+            "transient_worker_groups": self.transient_worker_groups,
+            "transient_steps": self.transient_steps,
+            "transient_worker_factorizations": self.transient_worker_factorizations,
+            "intervals_extracted": self.intervals_extracted,
+            "interval_disk_hits": self.interval_disk_hits,
             # Process-wide factorization-LRU snapshot (parent process
             # only; worker-side factorizations are accumulated above).
             "factorizations": FACTORIZATION_STATS.factorizations,
             "factorization_cache_hits": FACTORIZATION_STATS.cache_hits,
+            # The transient solver's step-matrix LRU, same contract.
+            "step_factorizations": STEP_FACTORIZATION_STATS.factorizations,
+            "step_factorization_cache_hits": STEP_FACTORIZATION_STATS.cache_hits,
             "stage_seconds": {
                 stage: round(seconds, 3)
                 for stage, seconds in sorted(self.stage_seconds.items())
@@ -1466,3 +1498,174 @@ class ExperimentContext:
             return results
         finally:
             self.stats.end_batch()
+
+    # ------------------------------------------------------------------ #
+
+    def transient_many(
+        self, requests: Sequence["TransientRequest"]
+    ) -> List[Tuple[TransientResult, Dict[str, float]]]:
+        """The transient co-simulation engine: many interval runs at once.
+
+        Requests are grouped by step-matrix key — ``(geometry, heat
+        capacities, dt)`` plus the shared integration window — and every
+        group steps its runs in lock-step through one factorization with
+        an ``(n, K)`` right-hand-side matrix
+        (:meth:`~repro.thermal.transient.TransientThermalSolver.run_many`).
+        Groups are fanned out across the worker pool exactly like
+        :meth:`solve_thermal_groups` (the factorization never crosses a
+        process boundary; workers rebuild the solver from pure geometry),
+        and stepping is deterministic, so pool results are byte-identical
+        to inline ones.  Returns, per request, the
+        :class:`~repro.thermal.transient.TransientResult` and the
+        schedule's accumulated stats (throttle duty counters and the
+        like — pool workers mutate pickled schedule copies, so the stats
+        travel back explicitly).
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        groups: Dict[Tuple, dict] = {}
+        order: List[dict] = []
+        for i, req in enumerate(requests):
+            solver = self.solver(req.stack)
+            key = (step_matrix_key(solver, req.dt_s),
+                   req.duration_s, req.initial_k)
+            group = groups.get(key)
+            if group is None:
+                group = {"solver": solver, "req": req,
+                         "indices": [], "schedules": []}
+                groups[key] = group
+                order.append(group)
+            group["indices"].append(i)
+            group["schedules"].append(req.schedule)
+        self.stats.transient_runs += len(requests)
+        start = time.perf_counter()
+        try:
+            solved = self._dispatch_transient(order)
+        finally:
+            self.stats.add_stage("transient", time.perf_counter() - start)
+        out: List[Optional[Tuple[TransientResult, Dict[str, float]]]] = (
+            [None] * len(requests)
+        )
+        for group, (results, sched_stats) in zip(order, solved):
+            for i, result, stats in zip(group["indices"], results, sched_stats):
+                out[i] = (result, stats)
+        return out
+
+    def _run_transient_group(
+        self, group: dict
+    ) -> Tuple[List[TransientResult], List[Dict[str, float]]]:
+        """Inline path: step one group in-process (shares the parent's
+        step-matrix LRU)."""
+        req = group["req"]
+        transient = TransientThermalSolver(group["solver"], dt_s=req.dt_s)
+        results = transient.run_many(
+            group["schedules"], req.duration_s, initial_k=req.initial_k
+        )
+        return results, [
+            s.stats() if isinstance(s, PowerSchedule) else {}
+            for s in group["schedules"]
+        ]
+
+    def _dispatch_transient(
+        self, groups: List[dict]
+    ) -> List[Tuple[List[TransientResult], List[Dict[str, float]]]]:
+        """Step groups inline or across the worker pool.
+
+        Mirrors :meth:`_dispatch_thermal`: the pool only engages when
+        several step-matrix groups are pending
+        (``thermal_parallel_min_groups``) and every schedule is a
+        picklable :class:`~repro.thermal.transient.PowerSchedule` (plain
+        callables stay inline).
+        """
+        self.stats.transient_groups += len(groups)
+        steps_of = {}
+        for group in groups:
+            req = group["req"]
+            steps = max(1, int(round(req.duration_s / req.dt_s)))
+            steps_of[id(group)] = steps
+            self.stats.transient_steps += steps * len(group["schedules"])
+        use_pool = (
+            self.jobs > 1
+            and len(groups) >= self.thermal_parallel_min_groups
+            and all(
+                isinstance(schedule, PowerSchedule)
+                for group in groups
+                for schedule in group["schedules"]
+            )
+        )
+        if not use_pool:
+            out = []
+            for group in groups:
+                t0 = time.perf_counter()
+                out.append(self._run_transient_group(group))
+                self.stats.record_event(
+                    "transient_group",
+                    geometry=group["solver"].geometry_id(),
+                    runs=len(group["schedules"]),
+                    steps=steps_of[id(group)],
+                    where="inline",
+                    seconds=round(time.perf_counter() - t0, 3),
+                )
+            return out
+
+        from repro.experiments.supervised import transient_group_task
+
+        tasks = []
+        for group in groups:
+            solver = group["solver"]
+            req = group["req"]
+            tasks.append(_PoolTask(
+                fn=transient_group_task,
+                args=(solver.stack, solver.floorplan, solver.nx, solver.ny,
+                      solver.spreader_mm, req.dt_s, group["schedules"],
+                      req.duration_s, req.initial_k),
+                serial=(lambda g=group: self._run_transient_group(g) + (None,)),
+                detail={"geometry": solver.geometry_id(),
+                        "runs": len(group["schedules"]),
+                        "steps": steps_of[id(group)]},
+                timeout_s=self.thermal_timeout_s,
+                max_attempts=self.max_task_attempts,
+            ))
+        self.stats.begin_batch()
+        try:
+            outs = self._run_pool_tasks(tasks, kind="transient step",
+                                        force_pool=True)
+            results = []
+            for group, out in zip(groups, outs):
+                solved, sched_stats, worker_stats = out
+                if worker_stats is not None:
+                    self.stats.transient_worker_groups += 1
+                    self.stats.transient_worker_factorizations += (
+                        worker_stats.get("step_factorizations", 0)
+                    )
+                self.stats.record_event(
+                    "transient_group",
+                    geometry=group["solver"].geometry_id(),
+                    runs=len(group["schedules"]),
+                    steps=steps_of[id(group)],
+                    where="inline" if worker_stats is None else "worker",
+                    seconds=(worker_stats or {}).get("seconds"),
+                )
+                results.append((solved, sched_stats))
+            return results
+        finally:
+            self.stats.end_batch()
+
+
+@dataclass
+class TransientRequest:
+    """One transient run for :meth:`ExperimentContext.transient_many`.
+
+    Requests sharing ``(stack geometry, dt_s, duration_s, initial_k)``
+    step in lock-step through one factorization; ``schedule`` supplies
+    the per-step power grids (a
+    :class:`~repro.thermal.transient.PowerSchedule` or a plain
+    ``power_fn(t)`` callable — the latter forces inline dispatch).
+    """
+
+    stack: StackKind
+    schedule: object
+    dt_s: float
+    duration_s: float
+    initial_k: Optional[float] = None

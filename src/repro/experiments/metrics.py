@@ -94,6 +94,7 @@ def metrics_snapshot(context=None, cache=None) -> dict:
     ``python -m repro metrics`` scrapes between runs.
     """
     from repro.thermal.solver import FACTORIZATION_STATS
+    from repro.thermal.transient import STEP_FACTORIZATION_STATS
 
     if context is not None:
         cache = context.cache
@@ -108,6 +109,10 @@ def metrics_snapshot(context=None, cache=None) -> dict:
         "factorizations": {
             "factorizations": FACTORIZATION_STATS.factorizations,
             "cache_hits": FACTORIZATION_STATS.cache_hits,
+        },
+        "step_factorizations": {
+            "factorizations": STEP_FACTORIZATION_STATS.factorizations,
+            "cache_hits": STEP_FACTORIZATION_STATS.cache_hits,
         },
     }
     if context is not None:

@@ -14,6 +14,7 @@ from repro.experiments.figure7 import run_figure7
 from repro.experiments.figure8 import run_figure8
 from repro.experiments.figure9 import run_figure9
 from repro.experiments.figure10 import run_figure10
+from repro.experiments.interval import run_interval
 from repro.experiments.power_density import run_power_density
 from repro.experiments.leakage import run_leakage_feedback
 from repro.experiments.pairing import run_pairing
@@ -80,6 +81,7 @@ def generate_report(context: Optional[ExperimentContext] = None) -> str:
     stacking = run_stacking_order(context)
     leakage = run_leakage_feedback(context)
     pairing = run_pairing(context)
+    interval = run_interval(context)
     figure7 = run_figure7()
 
     headline = _comparison_table([
@@ -135,5 +137,7 @@ def generate_report(context: Optional[ExperimentContext] = None) -> str:
         _section("Extension — stacking-order ablation", stacking.format()),
         _section("Extension — leakage-temperature feedback", leakage.format()),
         _section("Extension — heterogeneous core pairing", pairing.format()),
+        _section("Extension — interval power/thermal co-simulation",
+                 interval.format()),
     ]
     return "\n".join(parts)

@@ -128,6 +128,54 @@ def solve_group_task(
     return results, stats
 
 
+def transient_group_task(
+    stack,
+    floorplan,
+    nx: int,
+    ny: int,
+    spreader_mm: float,
+    dt_s: float,
+    schedules: Sequence,
+    duration_s: float,
+    initial_k: Optional[float],
+) -> Tuple[List, List[Dict[str, float]], Dict[str, float]]:
+    """Worker entry point: step one step-matrix group of transient runs.
+
+    Same contract as :func:`solve_group_task` — the steady solver is
+    rebuilt from pure geometry (the step-matrix factorization lands in
+    the worker's LRU and never crosses the process boundary), every run
+    in the group advances in lock-step through one multi-RHS
+    factorization, and the task ships back its step-factorization delta.
+    Schedules are pickled copies, so their accumulated stats (throttle
+    duty counters) travel back explicitly as the second element.
+    Stepping is deterministic: worker results are bit-identical to the
+    parent's inline path.
+    """
+    from repro.experiments.faults import maybe_inject_thermal_fault
+    from repro.thermal.transient import (
+        STEP_FACTORIZATION_STATS,
+        TransientThermalSolver,
+    )
+
+    maybe_inject_thermal_fault()
+    start = time.perf_counter()
+    step_factorizations = STEP_FACTORIZATION_STATS.factorizations
+    step_cache_hits = STEP_FACTORIZATION_STATS.cache_hits
+    solver = ThermalSolver(stack, floorplan, nx, ny, spreader_mm)
+    transient = TransientThermalSolver(solver, dt_s=dt_s)
+    results = transient.run_many(schedules, duration_s, initial_k=initial_k)
+    stats = {
+        "step_factorizations": (
+            STEP_FACTORIZATION_STATS.factorizations - step_factorizations
+        ),
+        "step_cache_hits": (
+            STEP_FACTORIZATION_STATS.cache_hits - step_cache_hits
+        ),
+        "seconds": round(time.perf_counter() - start, 3),
+    }
+    return results, [s.stats() for s in schedules], stats
+
+
 def solve_batches_task(
     stack,
     floorplan,

@@ -177,6 +177,40 @@ class PowerModel:
             leakage_watts=self.leakage_watts,
         )
 
+    def evaluate_intervals(
+        self, result: SimulationResult, series, stack: StackKind
+    ) -> List[PowerBreakdown]:
+        """Per-interval power breakdowns from an interval activity series.
+
+        ``series`` is an
+        :class:`~repro.cpu.wavefront.IntervalActivitySeries` produced for
+        ``result``'s run.  Each interval is evaluated exactly like
+        :meth:`evaluate` with the interval's own cycle count as the
+        runtime (clamped to one cycle like the aggregate result), so the
+        one-interval series reproduces the aggregate breakdown.
+        """
+        breakdowns: List[PowerBreakdown] = []
+        clock_watts = self._clock_watts(stack, result.clock_ghz)
+        for activity, cycles in zip(series.counters, series.cycles):
+            time_ns = max(int(cycles), 1) / result.clock_ghz
+            modules: Dict[str, ModulePower] = {}
+            for name, module_activity in activity.modules().items():
+                if name in _EXCLUDED_MODULES or not module_activity.total:
+                    continue
+                modules[name] = self._module_power(
+                    name, module_activity, stack, time_ns
+                )
+            breakdowns.append(PowerBreakdown(
+                benchmark=result.benchmark,
+                config_name=result.config_name,
+                stack=stack,
+                clock_ghz=result.clock_ghz,
+                modules=modules,
+                clock_watts=clock_watts,
+                leakage_watts=self.leakage_watts,
+            ))
+        return breakdowns
+
 
 def calibrate_activity_scale(
     reference: SimulationResult,

@@ -74,10 +74,19 @@ FACTORIZATION_CACHE_CAP = 16
 
 
 def clear_factorization_cache() -> None:
-    """Drop all cached factorizations and reset the counters."""
+    """Drop all cached factorizations and reset the counters.
+
+    Also drops the transient solver's step-matrix cache: every step
+    matrix embeds a conductance matrix assembled here, so any site that
+    resets steady factorization state (workers, tests, benchmarks) must
+    reset the derived step factorizations with it.
+    """
     _FACTORIZATION_CACHE.clear()
     FACTORIZATION_STATS.factorizations = 0
     FACTORIZATION_STATS.cache_hits = 0
+    from repro.thermal import transient
+
+    transient.clear_step_cache()
 
 
 def _factorize(matrix: csc_matrix) -> Callable:
